@@ -1,0 +1,18 @@
+//! # shmls-baselines — the comparator frameworks of the paper's evaluation
+//!
+//! Models of DaCe, SODA-opt, AMD Xilinx Vitis HLS and StencilFlow — plus
+//! the Stencil-HMLS deployment itself — evaluated through the shared
+//! device/performance/resource/power models of `shmls-fpga-sim`. See
+//! [`models`] for what each framework's model encodes and DESIGN.md for
+//! why this substitution preserves the paper's comparison.
+
+#![warn(missing_docs)]
+
+pub mod models;
+pub mod profile;
+
+pub use models::{
+    all_frameworks, DaceModel, EvalContext, FrameworkModel, Measurement, Outcome, SodaOptModel,
+    StencilFlowModel, StencilHmlsModel, VitisHlsModel, ACCESS_II_CYCLES, DACE_II,
+};
+pub use profile::KernelProfile;

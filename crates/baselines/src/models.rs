@@ -1,0 +1,556 @@
+//! The framework models of the paper's comparison (§2.1, §4).
+//!
+//! Each comparator is modelled by its *published, structural*
+//! characteristics — the same facts the paper uses to explain its
+//! measurements — evaluated through the shared device/performance/power
+//! models of `shmls-fpga-sim`:
+//!
+//! | framework | execution structure | key parameters (source) |
+//! |---|---|---|
+//! | Stencil-HMLS | concurrent dataflow, II 1, CU-replicated | the actual compiled design |
+//! | DaCe | fused dataflow SDFG, II 9, 1 CU | II measured in §4; serialisation = the paper's "3 (split)" factor |
+//! | SODA-opt | Von-Neumann pipeline, unroll & buffers disabled | II ≈ 2 cycles/external access (calibrated to the measured 164) |
+//! | Vitis HLS | Von-Neumann pipeline, unoptimised | II ≈ 2 cycles/external access (calibrated to the measured 163) |
+//! | StencilFlow | II-1 dataflow, deadlocks at runtime on PW, cannot express tracer | §4's reported outcomes |
+//!
+//! Calibration notes live in EXPERIMENTS.md.
+
+use serde::Serialize;
+use shmls_fpga_sim::design::Stage;
+use shmls_fpga_sim::device::{CostTable, Device, PowerCoefficients};
+use shmls_fpga_sim::perf::{hmls_estimate, pipeline_estimate, PerfEstimate, PipelineModel};
+use shmls_fpga_sim::power;
+use shmls_fpga_sim::resources::{self, ResourceUsage};
+
+use crate::profile::KernelProfile;
+
+/// Cycles of initiation interval contributed by one external-memory access
+/// in an unoptimised Von-Neumann pipeline. Calibrated so the tracer
+/// advection critical-path IIs land at the paper's measurements
+/// (Vitis HLS: 163, SODA-opt: 164).
+pub const ACCESS_II_CYCLES: f64 = 2.0;
+
+/// DaCe's measured initiation interval (§4: "the DaCe generated code
+/// having an II of 9").
+pub const DACE_II: f64 = 9.0;
+
+/// Largest single buffer DaCe can place without automatic multi-bank
+/// assignment (two HBM pseudo-channels through the manual connectivity
+/// file): beyond this, "the largest problem size … can not be handled".
+pub const DACE_MAX_BUFFER_BYTES: u64 = 512 * 1024 * 1024;
+
+/// Shared evaluation context.
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    /// The target device.
+    pub device: Device,
+    /// Operator cost table.
+    pub costs: CostTable,
+    /// Power coefficients.
+    pub power: PowerCoefficients,
+}
+
+impl Default for EvalContext {
+    fn default() -> Self {
+        Self {
+            device: Device::u280(),
+            costs: CostTable::default_f64(),
+            power: PowerCoefficients::default_u280(),
+        }
+    }
+}
+
+/// One framework's result for one kernel/size.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Throughput (the paper's Figure-4 metric).
+    pub mpts: f64,
+    /// Kernel runtime in seconds.
+    pub seconds: f64,
+    /// Average power draw in watts (Figures 5/6).
+    pub watts: f64,
+    /// Energy in joules (Figures 5/6).
+    pub joules: f64,
+    /// Resource usage (Tables 1/2).
+    pub resources: ResourceUsage,
+    /// Resource percentages in table order (%LUT, %FF, %BRAM, %DSP).
+    pub resource_pct: [f64; 4],
+    /// Compute units deployed.
+    pub cus: u32,
+    /// Achieved initiation interval of the critical loop.
+    pub ii: f64,
+    /// Total kernel cycles.
+    pub cycles: u64,
+}
+
+/// Outcome of evaluating a framework on a kernel/size.
+#[derive(Debug, Clone, Serialize)]
+pub enum Outcome {
+    /// Ran to completion.
+    Completed(Measurement),
+    /// Failed to build a bitstream.
+    CompileError(String),
+    /// Built but did not finish executing (the paper's ">10 minutes,
+    /// likely deadlock").
+    RuntimeDeadlock {
+        /// Explanation.
+        reason: String,
+        /// Resource usage of the built bitstream (still reported in
+        /// Table 1).
+        resources: ResourceUsage,
+        /// Percentages in table order.
+        resource_pct: [f64; 4],
+    },
+    /// The kernel cannot be expressed in the framework's input language.
+    Inexpressible(String),
+}
+
+impl Outcome {
+    /// The measurement, if the run completed.
+    pub fn measurement(&self) -> Option<&Measurement> {
+        match self {
+            Outcome::Completed(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Resource percentages, when a bitstream exists.
+    pub fn resource_pct(&self) -> Option<[f64; 4]> {
+        match self {
+            Outcome::Completed(m) => Some(m.resource_pct),
+            Outcome::RuntimeDeadlock { resource_pct, .. } => Some(*resource_pct),
+            _ => None,
+        }
+    }
+}
+
+/// A modelled FPGA programming framework.
+pub trait FrameworkModel {
+    /// Display name (as in the paper's figures).
+    fn name(&self) -> &'static str;
+
+    /// Evaluate the framework on a kernel profile.
+    fn evaluate(&self, profile: &KernelProfile, eval: &EvalContext) -> Outcome;
+}
+
+fn finish(
+    perf: PerfEstimate,
+    resources: ResourceUsage,
+    bytes_moved: u64,
+    cus: u32,
+    ii: f64,
+    eval: &EvalContext,
+) -> Outcome {
+    let p = power::estimate(
+        &eval.device,
+        &eval.power,
+        &resources,
+        bytes_moved,
+        perf.seconds,
+    );
+    Outcome::Completed(Measurement {
+        mpts: perf.mpts,
+        seconds: perf.seconds,
+        watts: p.watts,
+        joules: p.joules,
+        resource_pct: resources.percentages(&eval.device),
+        resources,
+        cus,
+        ii,
+        cycles: perf.cycles,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Stencil-HMLS
+// ---------------------------------------------------------------------
+
+/// The paper's own flow: the compiled dataflow design, replicated over as
+/// many compute units as the shell's AXI-port budget allows.
+#[derive(Debug, Clone, Default)]
+pub struct StencilHmlsModel {
+    /// Override the CU count (None = derive from the port budget, as §4
+    /// does: 4 CUs for PW advection, 1 for tracer advection).
+    pub cus: Option<u32>,
+}
+
+impl StencilHmlsModel {
+    /// CU count the port budget allows.
+    pub fn derive_cus(profile: &KernelProfile, device: &Device) -> u32 {
+        (device.max_axi_ports as usize / profile.ports_per_cu.max(1)).max(1) as u32
+    }
+}
+
+impl FrameworkModel for StencilHmlsModel {
+    fn name(&self) -> &'static str {
+        "Stencil-HMLS"
+    }
+
+    fn evaluate(&self, profile: &KernelProfile, eval: &EvalContext) -> Outcome {
+        let cus = self
+            .cus
+            .unwrap_or_else(|| Self::derive_cus(profile, &eval.device));
+        // Every AXI bundle of every CU needs its own HBM pseudo-channel
+        // (step 9); the connectivity generator enforces the bank budget.
+        if let Err(e) = shmls_fpga_sim::memory::assign_banks(&profile.design, &eval.device, cus) {
+            return Outcome::CompileError(e.to_string());
+        }
+        let resources = resources::estimate(&profile.design, &eval.costs, cus);
+        if !resources.fits(&eval.device) {
+            return Outcome::CompileError(format!(
+                "design with {cus} CUs exceeds the device: {resources:?}"
+            ));
+        }
+        let perf = hmls_estimate(&profile.design, &eval.device, cus);
+        let bytes = profile.design.total_beats() * 64;
+        finish(perf, resources, bytes, cus, 1.0, eval)
+    }
+}
+
+// ---------------------------------------------------------------------
+// DaCe
+// ---------------------------------------------------------------------
+
+/// DaCe (§2.1): dataflow SDFG, correct but fused — II 9, one CU, no
+/// automatic multi-bank assignment.
+#[derive(Debug, Clone, Default)]
+pub struct DaceModel;
+
+impl DaceModel {
+    /// The fused pipeline's serialisation factor: independent stencil
+    /// groups execute back-to-back (the paper's "3 (split)" for PW
+    /// advection); dependency chains add roughly one pass per three chain
+    /// levels (calibrated — see EXPERIMENTS.md).
+    pub fn serial_factor(profile: &KernelProfile) -> f64 {
+        (profile.split_groups as f64).max((profile.chain_depth as f64 / 3.0).ceil())
+    }
+}
+
+impl FrameworkModel for DaceModel {
+    fn name(&self) -> &'static str {
+        "DaCe"
+    }
+
+    fn evaluate(&self, profile: &KernelProfile, eval: &EvalContext) -> Outcome {
+        let field_bytes = (profile.bounded_points / profile.points.max(1))
+            .max(1)
+            .saturating_mul(profile.points)
+            .saturating_mul(8);
+        if field_bytes > DACE_MAX_BUFFER_BYTES {
+            return Outcome::CompileError(
+                "no automatic multi-bank assignment: a field exceeds the manually \
+                 connectable HBM region (the paper's missing 134M data point)"
+                    .to_string(),
+            );
+        }
+        let serial = Self::serial_factor(profile);
+        let model = PipelineModel {
+            points: profile.points,
+            ii: DACE_II,
+            serial_factor: serial,
+            cus: 1,
+            mem_accesses_per_point: (profile.fields_in + profile.fields_out) as f64,
+            elements_per_beat: 8.0,
+            mem_ports: (profile.fields_in + profile.fields_out) as u32,
+            startup_cycles: 10_000,
+        };
+        let perf = pipeline_estimate(&model, &eval.device);
+        let resources = self.resources(profile);
+        let bytes = profile.points * (profile.fields_in + profile.fields_out) as u64 * 8;
+        finish(perf, resources, bytes, 1, DACE_II, eval)
+    }
+}
+
+impl DaceModel {
+    /// Resource profile of the generated SDFG bitstream: control-heavy
+    /// LUT usage, shallow fixed-size tiling buffers (flat BRAM), shared
+    /// operators (low DSP) — the shape of the DaCe rows of Tables 1/2.
+    pub fn resources(&self, profile: &KernelProfile) -> ResourceUsage {
+        let flops = profile.ops.flops();
+        ResourceUsage {
+            luts: 72_000 + flops * 1_100,
+            ffs: 26_000 + flops * 780,
+            bram36: 64 + profile.fields_in as u64 * 16,
+            uram: 0,
+            dsps: 20 + flops / 2,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SODA-opt
+// ---------------------------------------------------------------------
+
+/// SODA-opt (§2.1/§4): MLIR DSE flow, but on the U280 unrolling had to be
+/// disabled (pipelines too large) and its memory buffers removed (malloc
+/// incompatible with the Vitis backend) — leaving an unoptimised
+/// Von-Neumann pipeline whose II is set by external-memory accesses,
+/// including re-reads of the small data.
+#[derive(Debug, Clone, Default)]
+pub struct SodaOptModel;
+
+impl SodaOptModel {
+    /// Critical-path II (§4 measures 164 on tracer advection).
+    pub fn ii(profile: &KernelProfile) -> f64 {
+        let param_reads = small_data_reads(profile);
+        ACCESS_II_CYCLES * (profile.external_accesses_per_point() + param_reads) as f64
+    }
+}
+
+impl FrameworkModel for SodaOptModel {
+    fn name(&self) -> &'static str {
+        "SODA-opt"
+    }
+
+    fn evaluate(&self, profile: &KernelProfile, eval: &EvalContext) -> Outcome {
+        let ii = Self::ii(profile);
+        let model = PipelineModel {
+            points: profile.points,
+            ii,
+            serial_factor: 1.0,
+            cus: 1,
+            mem_accesses_per_point: (profile.external_accesses_per_point()
+                + small_data_reads(profile)) as f64,
+            elements_per_beat: 1.0,
+            mem_ports: 2,
+            startup_cycles: 1_000,
+        };
+        let perf = pipeline_estimate(&model, &eval.device);
+        // No local buffers at all (they were translated into malloc calls
+        // and removed): tiny BRAM, plain shared datapath.
+        let flops = profile.ops.flops();
+        let resources = ResourceUsage {
+            luts: 9_000 + flops * 80,
+            ffs: 11_000 + flops * 90,
+            bram36: 2,
+            uram: 0,
+            dsps: 14 + flops / 8,
+        };
+        let bytes = profile.points
+            * (profile.external_accesses_per_point() + small_data_reads(profile))
+            * 8;
+        finish(perf, resources, bytes, 1, ii, eval)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vitis HLS
+// ---------------------------------------------------------------------
+
+/// Plain AMD Xilinx Vitis HLS on the unoptimised C port: correct by
+/// construction but Von-Neumann — per-element external accesses dominate
+/// the achieved II (§4 measures 163 on tracer advection).
+#[derive(Debug, Clone, Default)]
+pub struct VitisHlsModel;
+
+impl VitisHlsModel {
+    /// Critical-path II.
+    pub fn ii(profile: &KernelProfile) -> f64 {
+        ACCESS_II_CYCLES * profile.external_accesses_per_point() as f64
+    }
+}
+
+impl FrameworkModel for VitisHlsModel {
+    fn name(&self) -> &'static str {
+        "Vitis HLS"
+    }
+
+    fn evaluate(&self, profile: &KernelProfile, eval: &EvalContext) -> Outcome {
+        let ii = Self::ii(profile);
+        let model = PipelineModel {
+            points: profile.points,
+            ii,
+            serial_factor: 1.0,
+            cus: 1,
+            mem_accesses_per_point: profile.external_accesses_per_point() as f64,
+            elements_per_beat: 1.0,
+            mem_ports: 2,
+            startup_cycles: 1_000,
+        };
+        let perf = pipeline_estimate(&model, &eval.device);
+        // "roughly no variation in resource utilisation … since there are
+        // no local arrays of size dependent of the problem size".
+        let flops = profile.ops.flops();
+        let resources = ResourceUsage {
+            luts: 12_000 + flops * 70,
+            ffs: 11_500 + flops * 75,
+            bram36: 2,
+            uram: 0,
+            dsps: 10 + flops / 8,
+        };
+        let bytes = profile.points * profile.external_accesses_per_point() * 8;
+        finish(perf, resources, bytes, 1, ii, eval)
+    }
+}
+
+// ---------------------------------------------------------------------
+// StencilFlow
+// ---------------------------------------------------------------------
+
+/// StencilFlow (§2.1/§4): reaches II 1 through its own dataflow mapping,
+/// but on these benchmarks "did not complete … a likely indicator of
+/// deadlock" (PW advection) or "could not be expressed … due to the lack
+/// of support for subselections" (tracer advection).
+#[derive(Debug, Clone, Default)]
+pub struct StencilFlowModel;
+
+impl FrameworkModel for StencilFlowModel {
+    fn name(&self) -> &'static str {
+        "StencilFlow"
+    }
+
+    fn evaluate(&self, profile: &KernelProfile, eval: &EvalContext) -> Outcome {
+        // Tracer advection's small-data sub-selections are inexpressible.
+        if profile.small_data_elements > 0 && profile.computations > 3 {
+            return Outcome::Inexpressible(
+                "subselections (per-level small-data indexing) are not supported".to_string(),
+            );
+        }
+        let field_bytes = profile.bounded_points * 8;
+        if field_bytes > DACE_MAX_BUFFER_BYTES {
+            return Outcome::CompileError(
+                "built atop DaCe: same multi-bank limitation at the largest size".to_string(),
+            );
+        }
+        // The bitstream builds (Table 1 reports its resources: close to
+        // Stencil-HMLS, with heavier DSP usage from its replicated
+        // operator trees) but execution deadlocks.
+        let cus = StencilHmlsModel::derive_cus(profile, &eval.device);
+        let base = resources::estimate(&profile.design, &eval.costs, cus);
+        let resources = ResourceUsage {
+            luts: base.luts + base.luts / 8,
+            ffs: base.ffs + base.ffs / 50,
+            bram36: base.bram36 + base.bram36 / 6,
+            uram: base.uram + base.uram / 6,
+            dsps: base.dsps * 3 - base.dsps / 5,
+        };
+        Outcome::RuntimeDeadlock {
+            reason: "no completion within 10 minutes — channel sizing deadlock \
+                     on the multi-field shift-buffer graph"
+                .to_string(),
+            resource_pct: resources.percentages(&eval.device),
+            resources,
+        }
+    }
+}
+
+/// Small-data (param) reads per point: `memref.load` count inside the
+/// compute stages.
+fn small_data_reads(profile: &KernelProfile) -> u64 {
+    profile
+        .design
+        .stages
+        .iter()
+        .map(|s| match s {
+            Stage::Compute { ops, .. } => {
+                // Each param read contributed index arithmetic; the load
+                // itself is not in OpMix, so approximate from the local
+                // copies: one read per consuming stage.
+                let _ = ops;
+                0
+            }
+            _ => 0,
+        })
+        .sum::<u64>()
+        + profile.design.local_buffer_bytes.len() as u64
+}
+
+/// All framework models in the paper's comparison order.
+pub fn all_frameworks() -> Vec<Box<dyn FrameworkModel>> {
+    vec![
+        Box::new(StencilHmlsModel::default()),
+        Box::new(DaceModel),
+        Box::new(SodaOptModel),
+        Box::new(VitisHlsModel),
+        Box::new(StencilFlowModel),
+    ]
+}
+
+#[cfg(test)]
+mod model_unit_tests {
+    use super::*;
+    use crate::profile::KernelProfile;
+    use stencil_hmls::{compile, CompileOptions, TargetPath};
+
+    fn profile(src: &str) -> KernelProfile {
+        let opts = CompileOptions {
+            paths: TargetPath::HlsOnly,
+            ..Default::default()
+        };
+        let compiled = compile(src, &opts).unwrap();
+        KernelProfile::from_compiled(&compiled).unwrap()
+    }
+
+    #[test]
+    fn dace_serial_factor_follows_structure() {
+        let pw = profile(&shmls_kernels::pw_advection::source(16, 12, 8));
+        assert_eq!(
+            DaceModel::serial_factor(&pw),
+            3.0,
+            "the paper's '3 (split)'"
+        );
+        let tracer = profile(&shmls_kernels::tracer_advection::source(10, 8, 6));
+        assert_eq!(
+            DaceModel::serial_factor(&tracer),
+            2.0,
+            "chain-limited fusion"
+        );
+    }
+
+    #[test]
+    fn von_neumann_iis_derive_from_accesses() {
+        let tracer = profile(&shmls_kernels::tracer_advection::source(10, 8, 6));
+        let vitis = VitisHlsModel::ii(&tracer);
+        let soda = SodaOptModel::ii(&tracer);
+        assert_eq!(
+            vitis,
+            ACCESS_II_CYCLES * tracer.external_accesses_per_point() as f64
+        );
+        assert!(soda > vitis, "SODA re-reads the small data");
+    }
+
+    #[test]
+    fn hmls_cu_derivation_matches_paper() {
+        let device = Device::u280();
+        let pw = profile(&shmls_kernels::pw_advection::source(16, 12, 8));
+        assert_eq!(StencilHmlsModel::derive_cus(&pw, &device), 4);
+        let tracer = profile(&shmls_kernels::tracer_advection::source(10, 8, 6));
+        assert_eq!(StencilHmlsModel::derive_cus(&tracer, &device), 1);
+    }
+
+    #[test]
+    fn forced_cu_override_respects_bank_budget() {
+        let eval = EvalContext::default();
+        let pw = profile(&shmls_kernels::pw_advection::source(16, 12, 8));
+        // 5 CUs × 7 ports = 35 > 32 banks: must fail to "compile".
+        let outcome = StencilHmlsModel { cus: Some(5) }.evaluate(&pw, &eval);
+        assert!(matches!(outcome, Outcome::CompileError(_)), "{outcome:?}");
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let eval = EvalContext::default();
+        let pw = profile(&shmls_kernels::pw_advection::source(16, 12, 8));
+        let ok = StencilHmlsModel::default().evaluate(&pw, &eval);
+        assert!(ok.measurement().is_some());
+        assert!(ok.resource_pct().is_some());
+        let fail = Outcome::Inexpressible("x".into());
+        assert!(fail.measurement().is_none());
+        assert!(fail.resource_pct().is_none());
+    }
+
+    #[test]
+    fn all_frameworks_ordering() {
+        let names: Vec<&str> = all_frameworks().iter().map(|f| f.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Stencil-HMLS",
+                "DaCe",
+                "SODA-opt",
+                "Vitis HLS",
+                "StencilFlow"
+            ]
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Ablation bench: the §4 speed-up decomposition (CUs × II × split) and
+//! single-factor sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shmls_baselines::{EvalContext, FrameworkModel, StencilHmlsModel};
+use shmls_bench::{ablation, profile, Kernel};
+use shmls_kernels::pw_sizes;
+
+fn bench_ablation(c: &mut Criterion) {
+    let eval = EvalContext::default();
+    c.bench_function("ablation/decomposition", |b| {
+        b.iter(|| std::hint::black_box(ablation(&eval)))
+    });
+
+    // CU sweep as individual benches (model evaluation cost).
+    let p = profile(Kernel::PwAdvection, &pw_sizes()[0]);
+    let mut group = c.benchmark_group("ablation/cu_sweep");
+    for cus in [1u32, 2, 4] {
+        group.bench_function(format!("{cus}cu"), |b| {
+            let model = StencilHmlsModel { cus: Some(cus) };
+            b.iter(|| std::hint::black_box(model.evaluate(&p, &eval)))
+        });
+    }
+    group.finish();
+    println!("\n{}", ablation(&eval));
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Compiler benches: wall-time of the Stencil-HMLS pipeline itself
+//! (parse → stencil IR → HLS dataflow → LLVM annotations → fpp) and of
+//! the functional dataflow simulation on a small grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shmls_kernels::{pw_advection, tracer_advection};
+use stencil_hmls::runner::{run_hls, KernelData};
+use stencil_hmls::{compile, CompileOptions, TargetPath};
+
+fn bench_compile(c: &mut Criterion) {
+    let pw = pw_advection::source(256, 256, 128);
+    let tracer = tracer_advection::source(256, 256, 128);
+
+    let mut group = c.benchmark_group("compile/full_pipeline");
+    group.bench_function("pw_advection", |b| {
+        b.iter(|| std::hint::black_box(compile(&pw, &CompileOptions::default()).unwrap()))
+    });
+    group.bench_function("tracer_advection", |b| {
+        b.iter(|| std::hint::black_box(compile(&tracer, &CompileOptions::default()).unwrap()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("compile/hls_only");
+    let hls_only = CompileOptions {
+        paths: TargetPath::HlsOnly,
+        ..Default::default()
+    };
+    group.bench_function("pw_advection", |b| {
+        b.iter(|| std::hint::black_box(compile(&pw, &hls_only).unwrap()))
+    });
+    group.finish();
+
+    // Functional dataflow simulation at a tiny grid: the whole design
+    // (load → shift buffers → dup → computes → write) executing on the
+    // sequential Kahn engine.
+    let n = [10, 8, 6];
+    let compiled = compile(&pw_advection::source(n[0], n[1], n[2]), &hls_only).unwrap();
+    let inputs = pw_advection::PwInputs::random(n[0], n[1], n[2], 3);
+    let data = KernelData::default()
+        .buffer("u", inputs.u.to_buffer())
+        .buffer("v", inputs.v.to_buffer())
+        .buffer("w", inputs.w.to_buffer())
+        .buffer("tzc1", inputs.tzc1.to_buffer())
+        .buffer("tzc2", inputs.tzc2.to_buffer())
+        .buffer("tzd1", inputs.tzd1.to_buffer())
+        .buffer("tzd2", inputs.tzd2.to_buffer())
+        .scalar("tcx", inputs.tcx)
+        .scalar("tcy", inputs.tcy);
+    c.bench_function("simulate/pw_advection_10x8x6", |b| {
+        b.iter(|| std::hint::black_box(run_hls(&compiled, &data).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

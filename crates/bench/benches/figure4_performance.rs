@@ -1,0 +1,32 @@
+//! Figure 4 bench: regenerates the performance comparison (MPt/s per
+//! framework per size) and reports how long the full figure takes to
+//! produce, plus per-cell evaluation benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shmls_baselines::EvalContext;
+use shmls_bench::{evaluate, figure4, Kernel};
+
+fn bench_figure4(c: &mut Criterion) {
+    let eval = EvalContext::default();
+
+    c.bench_function("figure4/full", |b| {
+        b.iter(|| std::hint::black_box(figure4(&eval)))
+    });
+
+    let mut group = c.benchmark_group("figure4/cells");
+    for kernel in [Kernel::PwAdvection, Kernel::TracerAdvection] {
+        for size in kernel.sizes() {
+            group.bench_function(format!("{}/{}", kernel.title(), size.label), |b| {
+                b.iter(|| std::hint::black_box(evaluate(kernel, &size, &eval)))
+            });
+        }
+    }
+    group.finish();
+
+    // Print the regenerated figure once so `cargo bench` output contains
+    // the paper-shaped data.
+    println!("\n{}", figure4(&eval));
+}
+
+criterion_group!(benches, bench_figure4);
+criterion_main!(benches);

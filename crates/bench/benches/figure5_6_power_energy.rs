@@ -1,0 +1,20 @@
+//! Figures 5 and 6 bench: power draw and energy for both kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shmls_baselines::EvalContext;
+use shmls_bench::{figure5, figure6};
+
+fn bench_power_energy(c: &mut Criterion) {
+    let eval = EvalContext::default();
+    c.bench_function("figure5/pw_advection_power_energy", |b| {
+        b.iter(|| std::hint::black_box(figure5(&eval)))
+    });
+    c.bench_function("figure6/tracer_advection_power_energy", |b| {
+        b.iter(|| std::hint::black_box(figure6(&eval)))
+    });
+    println!("\n{}", figure5(&eval));
+    println!("\n{}", figure6(&eval));
+}
+
+criterion_group!(benches, bench_power_energy);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Tables 1 and 2 bench: resource utilisation for both kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shmls_baselines::EvalContext;
+use shmls_bench::{table1, table2};
+
+fn bench_resources(c: &mut Criterion) {
+    let eval = EvalContext::default();
+    c.bench_function("table1/pw_advection_resources", |b| {
+        b.iter(|| std::hint::black_box(table1(&eval)))
+    });
+    c.bench_function("table2/tracer_advection_resources", |b| {
+        b.iter(|| std::hint::black_box(table2(&eval)))
+    });
+    println!("\n{}", table1(&eval));
+    println!("\n{}", table2(&eval));
+}
+
+criterion_group!(benches, bench_resources);
+criterion_main!(benches);

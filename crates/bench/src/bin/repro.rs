@@ -1,0 +1,164 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro figure4          # Figure 4: performance (MPt/s)
+//! repro figure5          # Figure 5: PW advection power/energy
+//! repro figure6          # Figure 6: tracer advection power/energy
+//! repro table1           # Table 1: PW advection resources
+//! repro table2           # Table 2: tracer advection resources
+//! repro ablation         # §4 speed-up decomposition (4 × 9 × 3 ≈ 108)
+//! repro dse              # port-bundling DSE (§4 future-work heuristic)
+//! repro cycles           # analytic vs cycle-stepped model validation
+//! repro ii               # measured initiation intervals
+//! repro validate         # functional validation on the simulator
+//! repro all              # everything above
+//! repro json <path>      # dump raw results as JSON (artifact-style)
+//! ```
+
+use std::time::Duration;
+
+use shmls_baselines::EvalContext;
+use shmls_bench::{
+    ablation, cycles, dse, evaluate_all, figure4, figure5, figure6, ii_report, table1, table2,
+};
+
+fn validate() -> String {
+    use shmls_kernels::{pw_advection, tracer_advection};
+    use stencil_hmls::runner::{run_hls, run_hls_threaded, run_stencil, KernelData};
+    use stencil_hmls::{compile, CompileOptions};
+
+    let mut out = String::from(
+        "Functional validation (tiny grids, full dataflow execution)\n\
+         ============================================================\n",
+    );
+    // PW advection.
+    {
+        let n = [10, 8, 6];
+        let compiled = compile(
+            &pw_advection::source(n[0], n[1], n[2]),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let inputs = pw_advection::PwInputs::random(n[0], n[1], n[2], 1);
+        let (su, _, _) = pw_advection::golden(&inputs);
+        let data = KernelData::default()
+            .buffer("u", inputs.u.to_buffer())
+            .buffer("v", inputs.v.to_buffer())
+            .buffer("w", inputs.w.to_buffer())
+            .buffer("tzc1", inputs.tzc1.to_buffer())
+            .buffer("tzc2", inputs.tzc2.to_buffer())
+            .buffer("tzd1", inputs.tzd1.to_buffer())
+            .buffer("tzd2", inputs.tzd2.to_buffer())
+            .scalar("tcx", inputs.tcx)
+            .scalar("tcy", inputs.tcy);
+        let stencil_out = run_stencil(&compiled, &data).unwrap();
+        let (hls_out, (streams, pushed, beats)) = run_hls(&compiled, &data).unwrap();
+        let threaded = run_hls_threaded(&compiled, &data, Duration::from_secs(30)).unwrap();
+        let diff = shmls_kernels::Grid3::from_buffer(&hls_out["su"]).max_diff(&su);
+        out.push_str(&format!(
+            "  PW advection {n:?}: stencil==golden: {}, dataflow==golden: {} \
+             (max |diff| = {diff:.2e})\n",
+            check(shmls_kernels::Grid3::from_buffer(&stencil_out["su"]).max_diff(&su) < 1e-12),
+            check(diff < 1e-12),
+        ));
+        out.push_str(&format!(
+            "    sequential engine: {streams} streams, {pushed} elements, {beats} mem beats\n"
+        ));
+        out.push_str(&format!(
+            "    threaded engine (bounded FIFOs): {}\n",
+            check(threaded.is_some())
+        ));
+    }
+    // Tracer advection.
+    {
+        let n = [8, 7, 6];
+        let compiled = compile(
+            &tracer_advection::source(n[0], n[1], n[2]),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let inputs = tracer_advection::TracerInputs::random(n[0], n[1], n[2], 2);
+        let golden = tracer_advection::golden(&inputs);
+        let data = KernelData::default()
+            .buffer("tsn", inputs.tsn.to_buffer())
+            .buffer("pun", inputs.pun.to_buffer())
+            .buffer("pvn", inputs.pvn.to_buffer())
+            .buffer("pwn", inputs.pwn.to_buffer())
+            .buffer("tmask", inputs.tmask.to_buffer())
+            .buffer("umask", inputs.umask.to_buffer())
+            .buffer("vmask", inputs.vmask.to_buffer())
+            .buffer("rnfmsk", inputs.rnfmsk.to_buffer())
+            .buffer("upsmsk", inputs.upsmsk.to_buffer())
+            .buffer("ztfreez", inputs.ztfreez.to_buffer())
+            .buffer("rnfmsk_z", inputs.rnfmsk_z.to_buffer())
+            .buffer("e3t", inputs.e3t.to_buffer())
+            .scalar("pdt", inputs.pdt);
+        let (hls_out, _) = run_hls(&compiled, &data).unwrap();
+        let diff =
+            shmls_kernels::Grid3::from_buffer(&hls_out["mydomain"]).max_diff(&golden.mydomain);
+        out.push_str(&format!(
+            "  tracer advection {n:?}: dataflow==golden: {} (max |diff| = {diff:.2e})\n",
+            check(diff < 1e-12)
+        ));
+    }
+    out
+}
+
+fn check(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let eval = EvalContext::default();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    match command {
+        "figure4" => print!("{}", figure4(&eval)),
+        "figure5" => print!("{}", figure5(&eval)),
+        "figure6" => print!("{}", figure6(&eval)),
+        "table1" => print!("{}", table1(&eval)),
+        "table2" => print!("{}", table2(&eval)),
+        "ablation" => print!("{}", ablation(&eval)),
+        "dse" => print!("{}", dse(&eval)),
+        "cycles" => print!("{}", cycles(&eval)),
+        "ii" => print!("{}", ii_report(&eval)),
+        "validate" => print!("{}", validate()),
+        "json" => {
+            let path = args.get(1).map(String::as_str).unwrap_or("results.json");
+            let results = evaluate_all(&eval);
+            let body = serde_json::to_string_pretty(&results).expect("results serialise");
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("repro: cannot write `{path}`: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+        "all" => {
+            for section in [
+                figure4(&eval),
+                figure5(&eval),
+                figure6(&eval),
+                table1(&eval),
+                table2(&eval),
+                ablation(&eval),
+                dse(&eval),
+                cycles(&eval),
+                ii_report(&eval),
+                validate(),
+            ] {
+                println!("{section}");
+            }
+        }
+        other => {
+            eprintln!(
+                "unknown command `{other}`; expected figure4|figure5|figure6|table1|table2|\
+                 ablation|dse|cycles|ii|validate|json|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+use shmls_ir::interp::Buffer;
+use shmls_ir::types::StencilBounds;
+use std::time::Duration;
+use stencil_hmls::driver::{compile, CompileOptions, TargetPath};
+use stencil_hmls::runner::{run_hls_threaded, KernelData};
+
+fn main() {
+    let src = r#"
+kernel unused {
+  grid(64)
+  halo 1
+  field a : input
+  field t : temp
+  field b : output
+  compute t { t = 2.0 * a[0] }
+  compute b { b = a[1] + a[-1] }
+}
+"#;
+    let opts = CompileOptions {
+        paths: TargetPath::HlsOnly,
+        ..Default::default()
+    };
+    let compiled = compile(src, &opts).expect("compile");
+    println!("compiled ok: stages={}", compiled.report.compute_stages);
+    let bounded =
+        StencilBounds::from_extents(&compiled.signature.grid).grown(compiled.signature.halo);
+    let mut a = Buffer::zeroed(bounded.extents(), bounded.lb.clone());
+    for (i, v) in a.data.iter_mut().enumerate() {
+        *v = i as f64;
+    }
+    let data = KernelData::default().buffer("a", a);
+    match run_hls_threaded(&compiled, &data, Duration::from_secs(3)) {
+        Ok(Some(_)) => println!("threaded: completed"),
+        Ok(None) => println!("threaded: DEADLOCK"),
+        Err(e) => println!("threaded: error {e}"),
+    }
+    // Also sequential engine
+    match stencil_hmls::runner::run_hls(&compiled, &data) {
+        Ok(_) => println!("sequential: completed"),
+        Err(e) => println!("sequential: error {e}"),
+    }
+}

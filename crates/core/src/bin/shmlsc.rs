@@ -1,0 +1,314 @@
+//! `shmlsc` — the Stencil-HMLS command-line compiler driver.
+//!
+//! ```text
+//! shmlsc kernel.stencil                 # compile, print the report
+//! shmlsc kernel.stencil --emit stencil  # print the stencil-dialect IR
+//! shmlsc kernel.stencil --emit hls      # print the HLS dataflow design
+//! shmlsc kernel.stencil --emit llvm     # print the annotated LLVM module
+//! shmlsc kernel.stencil --emit all      # print every stage
+//! shmlsc kernel.stencil --design        # print the extracted design facts
+//! shmlsc kernel.stencil --estimate      # perf/resource/power on the U280
+//! shmlsc kernel.stencil --estimate --cus 4   # …replicated over 4 CUs
+//! shmlsc kernel.stencil --synthesis-report   # Vitis-style synthesis report
+//! shmlsc kernel.stencil --validate      # run dataflow vs reference on random data
+//! shmlsc kernel.stencil --connectivity N  # Vitis HBM connectivity cfg for N CUs
+//! shmlsc kernel.stencil --no-opt        # skip canonicalisation
+//! ```
+
+use std::process::ExitCode;
+
+use shmls_fpga_sim::design::DesignDescriptor;
+use shmls_fpga_sim::device::{CostTable, Device, PowerCoefficients};
+use shmls_ir::printer::print_op;
+use stencil_hmls::runner::{max_output_diff, run_hls, run_stencil, KernelData};
+use stencil_hmls::{compile, CompileOptions};
+
+struct Args {
+    path: String,
+    emit: Option<String>,
+    design: bool,
+    estimate: bool,
+    validate: bool,
+    optimize: bool,
+    connectivity: Option<u32>,
+    cus: u32,
+    synthesis_report: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        path: String::new(),
+        emit: None,
+        design: false,
+        estimate: false,
+        validate: false,
+        optimize: true,
+        connectivity: None,
+        cus: 1,
+        synthesis_report: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--emit" => {
+                args.emit = Some(it.next().ok_or("--emit needs a stage name")?);
+            }
+            "--design" => args.design = true,
+            "--estimate" => args.estimate = true,
+            "--validate" => args.validate = true,
+            "--no-opt" => args.optimize = false,
+            "--synthesis-report" => args.synthesis_report = true,
+            "--cus" => {
+                let n = it.next().ok_or("--cus needs a count")?;
+                args.cus = n.parse().map_err(|e| format!("bad CU count: {e}"))?;
+                if args.cus == 0 {
+                    return Err("--cus must be at least 1".into());
+                }
+            }
+            "--connectivity" => {
+                let n = it.next().ok_or("--connectivity needs a CU count")?;
+                args.connectivity = Some(n.parse().map_err(|e| format!("bad CU count: {e}"))?);
+            }
+            "--help" | "-h" => return Err("usage".into()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            other => {
+                if !args.path.is_empty() {
+                    return Err("exactly one input file expected".into());
+                }
+                args.path = other.to_string();
+            }
+        }
+    }
+    if args.path.is_empty() {
+        return Err("no input file".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("shmlsc: {e}");
+            eprintln!(
+                "usage: shmlsc <kernel.stencil> [--emit stencil|hls|llvm|all] \
+                 [--design] [--estimate] [--cus N] [--synthesis-report] \
+                 [--validate] [--connectivity N] [--no-opt]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let source = match std::fs::read_to_string(&args.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("shmlsc: cannot read `{}`: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let opts = CompileOptions {
+        optimize: args.optimize,
+        ..Default::default()
+    };
+    let compiled = match compile(&source, &opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("shmlsc: compilation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match args.emit.as_deref() {
+        Some("stencil") => println!("{}", print_op(&compiled.ctx, compiled.stencil_func)),
+        Some("hls") => println!("{}", print_op(&compiled.ctx, compiled.hls_func)),
+        Some("llvm") => match compiled.llvm_func {
+            Some(f) => println!("{}", print_op(&compiled.ctx, f)),
+            None => eprintln!("shmlsc: no LLVM path was generated"),
+        },
+        Some("all") => println!("{}", print_op(&compiled.ctx, compiled.module)),
+        Some(other) => {
+            eprintln!("shmlsc: unknown emit stage `{other}`");
+            return ExitCode::from(2);
+        }
+        None => {}
+    }
+
+    if args.emit.is_none() || args.design || args.estimate {
+        let r = &compiled.report;
+        println!("kernel `{}`:", compiled.kernel.name);
+        println!(
+            "  grid            : {:?} (halo {})",
+            compiled.kernel.grid, compiled.kernel.halo
+        );
+        println!("  computations    : {}", r.compute_stages);
+        println!("  fields in/out   : {}/{}", r.inputs, r.outputs);
+        println!(
+            "  streams         : {} ({} dup stages)",
+            r.streams, r.dup_stages
+        );
+        println!(
+            "  shift buffers   : {} x {:?} elements",
+            r.shift_buffers,
+            r.shift_register_lens.first().unwrap_or(&0)
+        );
+        println!("  window          : {} values", r.window_elems);
+        println!("  bundles         : {:?}", r.bundles);
+        if let Some(d) = &compiled.directives {
+            println!(
+                "  fpp round trip  : {} markers, {} dataflow regions, IIs {:?}",
+                d.markers_consumed, d.dataflow_regions, d.pipelined_loops
+            );
+        }
+    }
+
+    if args.design || args.estimate {
+        let design = match DesignDescriptor::from_hls_func(&compiled.ctx, compiled.hls_func) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("shmlsc: design extraction failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if args.design {
+            println!("\ndesign:");
+            println!("  interior points : {}", design.interior_points);
+            println!("  bounded points  : {}", design.bounded_points);
+            println!("  memory beats    : {}", design.total_beats());
+            println!("  fifo bytes      : {}", design.fifo_bytes());
+            println!("  shift reg bytes : {}", design.shift_register_bytes());
+            println!("  axi ports       : {}", design.axi_ports());
+            for (i, s) in design.stages.iter().enumerate() {
+                println!("  stage[{i}]        : {s:?}");
+            }
+        }
+        if args.estimate {
+            let device = Device::u280();
+            let costs = CostTable::default_f64();
+            let coeffs = PowerCoefficients::default_u280();
+            let perf = shmls_fpga_sim::perf::hmls_estimate(&design, &device, args.cus);
+            let usage = shmls_fpga_sim::resources::estimate(&design, &costs, args.cus);
+            let pct = usage.percentages(&device);
+            let power = shmls_fpga_sim::power::estimate(
+                &device,
+                &coeffs,
+                &usage,
+                design.total_beats() * 64,
+                perf.seconds,
+            );
+            println!("\nestimate ({} CU(s) on {}):", args.cus, device.name);
+            println!(
+                "  throughput      : {:.1} MPt/s ({} cycles, bottleneck {})",
+                perf.mpts, perf.cycles, perf.bottleneck
+            );
+            println!("  runtime         : {:.3} ms", perf.seconds * 1e3);
+            println!(
+                "  resources       : {:.2}% LUT, {:.2}% FF, {:.2}% BRAM, {:.2}% URAM, {:.2}% DSP",
+                pct[0],
+                pct[1],
+                pct[2],
+                usage.uram_pct(&device),
+                pct[3]
+            );
+            println!(
+                "  power / energy  : {:.1} W / {:.3} J",
+                power.watts, power.joules
+            );
+        }
+    }
+
+    if args.synthesis_report {
+        let design = match DesignDescriptor::from_hls_func(&compiled.ctx, compiled.hls_func) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("shmlsc: design extraction failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "\n{}",
+            stencil_hmls::synthesis_report::render(
+                &design,
+                &Device::u280(),
+                &CostTable::default_f64(),
+                args.cus,
+            )
+        );
+    }
+
+    if let Some(cus) = args.connectivity {
+        let design = match DesignDescriptor::from_hls_func(&compiled.ctx, compiled.hls_func) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("shmlsc: design extraction failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match shmls_fpga_sim::memory::assign_banks(&design, &Device::u280(), cus) {
+            Ok(c) => {
+                println!(
+                    "\n# HBM connectivity for {cus} CU(s) ({} banks)",
+                    c.banks_used()
+                );
+                print!("{}", c.to_cfg());
+            }
+            Err(e) => {
+                eprintln!("shmlsc: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if args.validate {
+        // Random data, reference vs dataflow.
+        let mut data = KernelData::default();
+        let bounded = shmls_ir::types::StencilBounds::from_extents(&compiled.kernel.grid)
+            .grown(compiled.kernel.halo);
+        let mut seed = 0x5EEDu64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f64 / 200.0 - 2.5
+        };
+        for f in &compiled.kernel.fields {
+            if matches!(
+                f.kind,
+                shmls_frontend::FieldKind::Input | shmls_frontend::FieldKind::InOut
+            ) {
+                let mut b = shmls_ir::interp::Buffer::zeroed(bounded.extents(), bounded.lb.clone());
+                for v in &mut b.data {
+                    *v = rnd();
+                }
+                data = data.buffer(&f.name, b);
+            }
+        }
+        for p in &compiled.kernel.params {
+            let extent = compiled.kernel.grid[p.axis] + 2 * compiled.kernel.halo;
+            let mut b = shmls_ir::interp::Buffer::zeroed(vec![extent], vec![0]);
+            for v in &mut b.data {
+                *v = rnd();
+            }
+            data = data.buffer(&p.name, b);
+        }
+        for c in &compiled.kernel.consts {
+            data = data.scalar(&c.name, rnd());
+        }
+        let reference = run_stencil(&compiled, &data).expect("reference run");
+        let (dataflow, (streams, elements, beats)) = run_hls(&compiled, &data).expect("hls run");
+        let lb = vec![0i64; compiled.kernel.rank()];
+        let diff = max_output_diff(&reference, &dataflow, &lb, &compiled.kernel.grid);
+        println!("\nvalidate:");
+        println!("  streams/elements/beats : {streams}/{elements}/{beats}");
+        println!("  max |dataflow - reference| = {diff:.3e}");
+        if diff > 1e-12 {
+            eprintln!("shmlsc: VALIDATION FAILED");
+            return ExitCode::FAILURE;
+        }
+        println!("  PASS");
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,316 @@
+//! Canonicalisation: greedy pattern-based simplification of the arith
+//! subset, plus dead-code elimination.
+//!
+//! Runs before the Stencil-HMLS transformation so the generated dataflow
+//! stages (and therefore the resource estimate — every op is a hardware
+//! operator instance!) contain no foldable arithmetic. On an FPGA a folded
+//! constant is not a micro-optimisation: it deletes a physical
+//! double-precision operator.
+
+use shmls_dialects::arith;
+use shmls_ir::error::IrResult;
+use shmls_ir::prelude::*;
+use shmls_ir::rewrite::{dead_code_elimination, RewriteDriver, RewritePattern, RewriteStats};
+
+/// Fold binary float arithmetic over two constants.
+struct FoldConstBinary;
+
+impl RewritePattern for FoldConstBinary {
+    fn name(&self) -> &str {
+        "fold-const-binary"
+    }
+
+    fn match_and_rewrite(&self, ctx: &mut Context, op: OpId) -> IrResult<bool> {
+        let folded = match ctx.op_name(op) {
+            "arith.addf" => |a: f64, b: f64| a + b,
+            "arith.subf" => |a: f64, b: f64| a - b,
+            "arith.mulf" => |a: f64, b: f64| a * b,
+            "arith.divf" => |a: f64, b: f64| a / b,
+            _ => return Ok(false),
+        };
+        let Some(a) = const_f64(ctx, ctx.operands(op)[0]) else {
+            return Ok(false);
+        };
+        let Some(b) = const_f64(ctx, ctx.operands(op)[1]) else {
+            return Ok(false);
+        };
+        let value = folded(a, b);
+        if !value.is_finite() {
+            return Ok(false); // keep runtime semantics for inf/nan cases
+        }
+        let mut builder = OpBuilder::before(ctx, op);
+        let new = arith::constant_f64(&mut builder, value);
+        let old = ctx.result(op, 0);
+        ctx.replace_all_uses(old, new);
+        ctx.erase_op(op);
+        Ok(true)
+    }
+}
+
+/// Algebraic identities that delete hardware operators:
+/// `x + 0 = x`, `0 + x = x`, `x - 0 = x`, `x * 1 = x`, `1 * x = x`,
+/// `x * 0 = 0`, `0 * x = 0`, `x / 1 = x`, `-(-x) = x`.
+///
+/// Signed-zero/NaN caveat: like the HLS backends this models (which build
+/// hardware under fast-math assumptions), `x + 0 → x` and `x * 0 → 0`
+/// assume no-signed-zero / no-NaN inputs. Identities involving a literal
+/// `-0.0` are excluded outright.
+struct AlgebraicIdentity;
+
+impl RewritePattern for AlgebraicIdentity {
+    fn name(&self) -> &str {
+        "algebraic-identity"
+    }
+
+    fn match_and_rewrite(&self, ctx: &mut Context, op: OpId) -> IrResult<bool> {
+        let name = ctx.op_name(op).to_string();
+        let operands = ctx.operands(op).to_vec();
+        let replacement: Option<ValueId> = match name.as_str() {
+            "arith.addf" => {
+                if const_f64(ctx, operands[0]) == Some(0.0) {
+                    Some(operands[1])
+                } else if const_f64(ctx, operands[1]) == Some(0.0) {
+                    Some(operands[0])
+                } else {
+                    None
+                }
+            }
+            "arith.subf" => (const_f64(ctx, operands[1]) == Some(0.0)).then_some(operands[0]),
+            "arith.mulf" => {
+                let lhs_const = const_f64(ctx, operands[0]);
+                let rhs_const = const_f64(ctx, operands[1]);
+                #[allow(clippy::match_like_matches_macro)]
+                match (lhs_const, rhs_const) {
+                    (Some(1.0), _) => Some(operands[1]),
+                    (_, Some(1.0)) => Some(operands[0]),
+                    (Some(0.0), _) => Some(operands[0]), // 0 * x -> 0
+                    (_, Some(0.0)) => Some(operands[1]), // x * 0 -> 0
+                    _ => None,
+                }
+            }
+            "arith.divf" => (const_f64(ctx, operands[1]) == Some(1.0)).then_some(operands[0]),
+            "arith.negf" => {
+                let def = ctx.defining_op(operands[0]);
+                match def {
+                    Some(d) if ctx.op_name(d) == "arith.negf" => Some(ctx.operands(d)[0]),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        let Some(new) = replacement else {
+            return Ok(false);
+        };
+        let old = ctx.result(op, 0);
+        ctx.replace_all_uses(old, new);
+        ctx.erase_op(op);
+        Ok(true)
+    }
+}
+
+/// The constant f64 defined by `value`'s producer, if any. `-0.0` is
+/// deliberately *not* treated as `0.0` for the additive identities
+/// (`x + -0.0` has different semantics for `x = -0.0`), so this returns
+/// the raw bits and callers compare with `==` (which treats `0.0 == -0.0`;
+/// we therefore exclude `-0.0` explicitly here).
+fn const_f64(ctx: &Context, value: ValueId) -> Option<f64> {
+    let def = ctx.defining_op(value)?;
+    let v = arith::constant_value(ctx, def)?.as_float()?;
+    if v == 0.0 && v.is_sign_negative() {
+        return None;
+    }
+    Some(v)
+}
+
+/// Run canonicalisation to fixpoint followed by DCE on everything under
+/// `root`. Returns `(rewrite stats, ops erased by DCE)`.
+pub fn canonicalize(ctx: &mut Context, root: OpId) -> IrResult<(RewriteStats, usize)> {
+    let fold = FoldConstBinary;
+    let identity = AlgebraicIdentity;
+    let driver = RewriteDriver::new(vec![&fold, &identity]);
+    let stats = driver.run(ctx, root)?;
+    let erased = dead_code_elimination(ctx, root, &shmls_dialects::is_pure);
+    Ok((stats, erased))
+}
+
+/// [`shmls_ir::pass::Pass`] wrapper for pipeline use.
+pub struct CanonicalizePass;
+
+impl shmls_ir::pass::Pass for CanonicalizePass {
+    fn name(&self) -> &str {
+        "canonicalize"
+    }
+
+    fn run(&self, ctx: &mut Context, root: OpId) -> IrResult<()> {
+        canonicalize(ctx, root)?;
+        Ok(())
+    }
+}
+
+/// Count the floating-point operator instances under `root` — the
+/// hardware-relevant metric this pass reduces.
+pub fn count_float_ops(ctx: &Context, root: OpId) -> usize {
+    let mut n = 0;
+    ctx.walk(root, &mut |op| {
+        if matches!(
+            ctx.op_name(op),
+            "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.negf"
+        ) {
+            n += 1;
+        }
+    });
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmls_dialects::builtin::create_module;
+    use shmls_frontend::{lower_kernel, parse_kernel};
+    use shmls_ir::interp::{Buffer, Machine, NoExtern, RtValue};
+    use shmls_ir::verifier::verify_with;
+
+    fn compile_and_canonicalize(src: &str) -> (Context, OpId, usize, usize) {
+        let k = parse_kernel(src).unwrap();
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let _ = lower_kernel(&mut ctx, body, &k).unwrap();
+        let before = count_float_ops(&ctx, module);
+        canonicalize(&mut ctx, module).unwrap();
+        let after = count_float_ops(&ctx, module);
+        verify_with(&ctx, module, &shmls_dialects::registry()).unwrap();
+        (ctx, module, before, after)
+    }
+
+    #[test]
+    fn folds_constant_subexpressions() {
+        // 2.0 * 3.0 folds; + a[0] survives.
+        let src = r#"
+kernel k {
+  grid(4)
+  halo 0
+  field a : input
+  field b : output
+  compute b { b = 2.0 * 3.0 + a[0] }
+}
+"#;
+        let (_ctx, _m, before, after) = compile_and_canonicalize(src);
+        assert_eq!(before, 2);
+        assert_eq!(after, 1, "only the addf with the access remains");
+    }
+
+    #[test]
+    fn removes_identity_operators() {
+        let src = r#"
+kernel k {
+  grid(4)
+  halo 0
+  field a : input
+  field b : output
+  compute b { b = 1.0 * a[0] + 0.0 }
+}
+"#;
+        let (_ctx, _m, before, after) = compile_and_canonicalize(src);
+        assert_eq!(before, 2);
+        assert_eq!(after, 0, "both operators are identities");
+    }
+
+    #[test]
+    fn multiplication_by_zero_short_circuits() {
+        let src = r#"
+kernel k {
+  grid(4)
+  halo 0
+  field a : input
+  field c : input
+  field b : output
+  compute b { b = a[0] + 0.0 * c[0] }
+}
+"#;
+        // 0.0 * c[0] -> 0.0, then a[0] + 0.0 -> a[0]: no operators left.
+        let (_ctx, _m, before, after) = compile_and_canonicalize(src);
+        assert_eq!(before, 2);
+        assert_eq!(after, 0);
+    }
+
+    #[test]
+    fn canonicalized_kernel_is_semantically_identical() {
+        let src = r#"
+kernel k {
+  grid(6)
+  halo 1
+  field a : input
+  field b : output
+  compute b { b = (2.0 * 0.5) * a[-1] + a[1] * 1.0 + 0.0 }
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        // Uncanonicalised reference.
+        let run = |canon: bool| -> Vec<f64> {
+            let mut ctx = Context::new();
+            let (module, body) = create_module(&mut ctx);
+            let _ = lower_kernel(&mut ctx, body, &k).unwrap();
+            if canon {
+                canonicalize(&mut ctx, module).unwrap();
+            }
+            let mut no = NoExtern;
+            let mut m = Machine::new(&ctx, module, &mut no);
+            let mut a = Buffer::zeroed(vec![8], vec![-1]);
+            for i in -1..7i64 {
+                a.store(&[i], (i * 3) as f64).unwrap();
+            }
+            let ah = m.store.alloc(a);
+            let bh = m.store.alloc(Buffer::zeroed(vec![8], vec![-1]));
+            m.call("k", &[RtValue::MemRef(ah), RtValue::MemRef(bh)])
+                .unwrap();
+            (0..6)
+                .map(|i| m.store.get(bh).unwrap().load(&[i]).unwrap())
+                .collect()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn negative_zero_additive_identity_not_applied() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let x = b.build_value("test.x", vec![], Type::F64);
+        let neg_zero = arith::constant_f64(&mut b, -0.0);
+        let sum = arith::addf(&mut b, x, neg_zero);
+        b.build("test.sink", vec![sum], vec![]);
+        canonicalize(&mut ctx, module).unwrap();
+        // x + (-0.0) must NOT fold to x (x = -0.0 gives -0.0 vs +0.0...
+        // actually -0.0 + -0.0 = -0.0 = x; but +0.0-identity logic must not
+        // fire from the -0.0 constant). The addf survives.
+        assert_eq!(count_float_ops(&ctx, module), 1);
+    }
+
+    #[test]
+    fn division_fold_keeps_nonfinite_at_runtime() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let one = arith::constant_f64(&mut b, 1.0);
+        let zero = arith::constant_f64(&mut b, 0.0);
+        let div = arith::divf(&mut b, one, zero);
+        b.build("test.sink", vec![div], vec![]);
+        canonicalize(&mut ctx, module).unwrap();
+        // 1/0 = inf is not folded (non-finite results stay runtime ops).
+        assert_eq!(count_float_ops(&ctx, module), 1);
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let x = b.build_value("test.x", vec![], Type::F64);
+        let n1 = arith::negf(&mut b, x);
+        let n2 = arith::negf(&mut b, n1);
+        let sink = b.build("test.sink", vec![n2], vec![]);
+        canonicalize(&mut ctx, module).unwrap();
+        assert_eq!(count_float_ops(&ctx, module), 0);
+        assert_eq!(ctx.operands(sink)[0], x);
+    }
+}

@@ -1,0 +1,226 @@
+//! End-to-end compilation driver: DSL text → stencil IR → {HLS dataflow,
+//! CPU loops, annotated LLVM} — the whole Figure-1 flow in one call.
+
+use shmls_dialects::builtin::create_module;
+use shmls_frontend::{lower_kernel, parse_kernel, KernelDef, KernelSignature};
+use shmls_ir::error::IrResult;
+use shmls_ir::prelude::*;
+use shmls_ir::verifier::verify_with;
+
+use crate::fpp::{run_fpp, DirectiveReport};
+use crate::hmls::{stencil_to_hls, HmlsOptions, HmlsReport};
+use crate::llvm_lowering::hls_to_llvm;
+
+/// Which lowering paths [`compile`] produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetPath {
+    /// Only the Stencil-HMLS dataflow design.
+    HlsOnly,
+    /// HLS design + CPU reference loops.
+    HlsAndCpu,
+    /// Everything: HLS design, CPU loops, annotated LLVM + fpp.
+    Full,
+}
+
+/// Options for the end-to-end driver.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Stencil-HMLS transformation options.
+    pub hmls: HmlsOptions,
+    /// Which paths to generate.
+    pub paths: TargetPath,
+    /// Verify the module between stages (cheap at kernel sizes).
+    pub verify: bool,
+    /// Run canonicalisation (constant folding + identity elimination +
+    /// DCE) on the stencil IR before lowering — on FPGAs this deletes
+    /// physical operators, not just instructions.
+    pub optimize: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self {
+            hmls: HmlsOptions::default(),
+            paths: TargetPath::Full,
+            verify: true,
+            optimize: true,
+        }
+    }
+}
+
+/// A fully compiled kernel: the module plus handles to every generated
+/// function and the reports the evaluation harness consumes.
+#[derive(Debug)]
+pub struct CompiledKernel {
+    /// The IR context owning everything.
+    pub ctx: Context,
+    /// The `builtin.module`.
+    pub module: OpId,
+    /// The kernel definition (AST).
+    pub kernel: KernelDef,
+    /// Runtime argument layout.
+    pub signature: KernelSignature,
+    /// The frontend's stencil-dialect function.
+    pub stencil_func: OpId,
+    /// The Stencil-HMLS dataflow function (`<name>_hls`).
+    pub hls_func: OpId,
+    /// The Von-Neumann reference (`<name>_cpu`), when requested.
+    pub cpu_func: Option<OpId>,
+    /// The annotated-LLVM function (`<name>_llvm`), when requested.
+    pub llvm_func: Option<OpId>,
+    /// Design summary from the stencil→HLS transformation.
+    pub report: HmlsReport,
+    /// Directives recovered by the fpp pass, when requested.
+    pub directives: Option<DirectiveReport>,
+}
+
+impl CompiledKernel {
+    /// Name of the HLS entry function.
+    pub fn hls_name(&self) -> String {
+        format!("{}_hls", self.kernel.name)
+    }
+
+    /// Name of the CPU reference function.
+    pub fn cpu_name(&self) -> String {
+        format!("{}_cpu", self.kernel.name)
+    }
+}
+
+/// Compile a module of *stencil-dialect IR text* (rather than DSL source):
+/// the frontend-independence path of the paper's Figure 1 — PSyclone,
+/// Devito or Flang only need to emit stencil IR, and this entry point
+/// takes over from there. The module must contain exactly one `func.func`
+/// whose body is stencil-dialect IR. Returns the transformed module's
+/// context plus the generated HLS function and report.
+pub fn compile_stencil_ir(
+    ir_text: &str,
+    opts: &CompileOptions,
+) -> IrResult<(Context, OpId, OpId, HmlsReport)> {
+    let (mut ctx, module) = shmls_ir::parser::parse_op(ir_text)?;
+    let registry = shmls_dialects::registry();
+    verify_with(&ctx, module, &registry).map_err(|e| e.context("verifying input IR"))?;
+    let funcs = ctx.find_ops(module, shmls_dialects::func::FUNC);
+    let [stencil_func] = funcs.as_slice() else {
+        shmls_ir::ir_bail!("expected exactly one func.func, found {}", funcs.len());
+    };
+    let stencil_func = *stencil_func;
+    if opts.optimize {
+        crate::canonicalize::canonicalize(&mut ctx, module)?;
+    }
+    let out = stencil_to_hls(&mut ctx, stencil_func, &opts.hmls)?;
+    if opts.verify {
+        verify_with(&ctx, module, &registry).map_err(|e| e.context("after stencil-to-hls"))?;
+    }
+    Ok((ctx, module, out.func, out.report))
+}
+
+/// Compile DSL source text through the full pipeline.
+pub fn compile(source: &str, opts: &CompileOptions) -> IrResult<CompiledKernel> {
+    let kernel = parse_kernel(source)?;
+    compile_kernel(kernel, opts)
+}
+
+/// Compile an already-built [`KernelDef`] through the full pipeline.
+pub fn compile_kernel(kernel: KernelDef, opts: &CompileOptions) -> IrResult<CompiledKernel> {
+    let mut ctx = Context::new();
+    let (module, body) = create_module(&mut ctx);
+    let lowered = lower_kernel(&mut ctx, body, &kernel)?;
+    let registry = shmls_dialects::registry();
+    if opts.verify {
+        verify_with(&ctx, module, &registry).map_err(|e| e.context("after frontend lowering"))?;
+    }
+
+    if opts.optimize {
+        // A real pass pipeline (with inter-pass verification) for the
+        // IR-to-IR stages that precede the dataflow construction.
+        let mut pm = shmls_ir::pass::PassManager::with_verifiers(shmls_dialects::registry());
+        pm.verify_each = opts.verify;
+        pm.add(crate::canonicalize::CanonicalizePass);
+        pm.run(&mut ctx, module)?;
+    }
+
+    let hls_out = stencil_to_hls(&mut ctx, lowered.func, &opts.hmls)?;
+    if opts.verify {
+        verify_with(&ctx, module, &registry).map_err(|e| e.context("after stencil-to-hls"))?;
+    }
+
+    let cpu_func = if matches!(opts.paths, TargetPath::HlsAndCpu | TargetPath::Full) {
+        let f = crate::cpu_lowering::stencil_to_cpu(&mut ctx, lowered.func)?;
+        if opts.verify {
+            verify_with(&ctx, module, &registry).map_err(|e| e.context("after cpu lowering"))?;
+        }
+        Some(f)
+    } else {
+        None
+    };
+
+    let (llvm_func, directives) = if matches!(opts.paths, TargetPath::Full) {
+        let f = hls_to_llvm(&mut ctx, hls_out.func)?;
+        let report = run_fpp(&mut ctx, f)?;
+        if opts.verify {
+            verify_with(&ctx, module, &registry)
+                .map_err(|e| e.context("after llvm lowering + fpp"))?;
+        }
+        (Some(f), Some(report))
+    } else {
+        (None, None)
+    };
+
+    Ok(CompiledKernel {
+        ctx,
+        module,
+        kernel,
+        signature: lowered.signature,
+        stencil_func: lowered.func,
+        hls_func: hls_out.func,
+        cpu_func,
+        llvm_func,
+        report: hls_out.report,
+        directives,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+kernel demo {
+  grid(6, 6)
+  halo 1
+  field a : input
+  field b : output
+  compute b { b = a[-1,0] + a[1,0] }
+}
+"#;
+
+    #[test]
+    fn full_pipeline_produces_everything() {
+        let compiled = compile(SRC, &CompileOptions::default()).unwrap();
+        assert_eq!(compiled.hls_name(), "demo_hls");
+        assert!(compiled.cpu_func.is_some());
+        assert!(compiled.llvm_func.is_some());
+        let d = compiled.directives.unwrap();
+        assert!(d.dataflow_regions >= 4);
+        assert!(!d.interfaces.is_empty());
+        assert_eq!(compiled.report.compute_stages, 1);
+    }
+
+    #[test]
+    fn hls_only_skips_other_paths() {
+        let opts = CompileOptions {
+            paths: TargetPath::HlsOnly,
+            ..Default::default()
+        };
+        let compiled = compile(SRC, &opts).unwrap();
+        assert!(compiled.cpu_func.is_none());
+        assert!(compiled.llvm_func.is_none());
+        assert!(compiled.directives.is_none());
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let e = compile("kernel broken {", &CompileOptions::default()).unwrap_err();
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! The `f++` equivalent: directive recovery by marker-call pattern
+//! matching (§3.2).
+//!
+//! The paper's closed-source `f++` tool consumes the annotation-encoded
+//! LLVM-IR, *"identif\[ies\] these corresponding function calls via pattern
+//! matching and replace\[s\] them with the appropriate intrinsics or
+//! metadata"*, using loop-tree analysis to attach pipeline/unroll requests
+//! to the right loop. This module reimplements that behaviour on our
+//! `llvm`-dialect module: every `_shmls_*` marker call is matched, removed,
+//! and turned into structured metadata — attributes on the enclosing loop
+//! or region — plus a [`DirectiveReport`] that downstream consumers (and
+//! the round-trip tests) read.
+
+use std::collections::BTreeMap;
+
+use shmls_dialects::{func, llvm, scf};
+use shmls_ir::error::IrResult;
+use shmls_ir::prelude::*;
+use shmls_ir::{ir_bail, ir_ensure, ir_error};
+
+/// Attribute placed on loops that received a pipeline directive.
+pub const ATTR_PIPELINE_II: &str = "pipeline_ii";
+/// Attribute placed on loops that received an unroll directive.
+pub const ATTR_UNROLL: &str = "unroll_factor";
+/// Attribute placed on regions that are dataflow regions.
+pub const ATTR_DATAFLOW: &str = "dataflow";
+
+/// Everything `fpp` recovered from the marker calls.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirectiveReport {
+    /// Loops annotated with a pipeline II (loop op count per II value).
+    pub pipelined_loops: BTreeMap<i64, usize>,
+    /// Loops annotated with unroll factors (factor → count).
+    pub unrolled_loops: BTreeMap<i64, usize>,
+    /// Number of dataflow regions.
+    pub dataflow_regions: usize,
+    /// Interface bindings: (protocol, bundle) per marker, in encounter
+    /// order.
+    pub interfaces: Vec<(String, String)>,
+    /// Stream depths recovered from `@llvm.fpga.set.stream.depth` calls.
+    pub stream_depths: Vec<i64>,
+    /// Array-partition directives: (kind, factor, dim).
+    pub array_partitions: Vec<(String, i64, i64)>,
+    /// Total marker calls consumed.
+    pub markers_consumed: usize,
+}
+
+/// Run the f++-equivalent pass over `llvm_func`: consume every marker call,
+/// attach metadata, and report what was found.
+pub fn run_fpp(ctx: &mut Context, llvm_func: OpId) -> IrResult<DirectiveReport> {
+    ir_ensure!(
+        ctx.op_name(llvm_func) == func::FUNC,
+        "fpp expects a func.func, got `{}`",
+        ctx.op_name(llvm_func)
+    );
+    let mut report = DirectiveReport::default();
+    for op in ctx.walk_collect(llvm_func) {
+        if !ctx.is_live_op(op) || ctx.op_name(op) != llvm::CALL {
+            continue;
+        }
+        let Some(callee) = llvm::callee(ctx, op).map(str::to_string) else {
+            continue;
+        };
+        if callee == llvm::SET_STREAM_DEPTH {
+            let depth = ctx
+                .attr(op, "depth")
+                .and_then(Attribute::as_int)
+                .ok_or_else(|| ir_error!("set.stream.depth without depth"))?;
+            report.stream_depths.push(depth);
+            continue;
+        }
+        let Some(suffix) = callee.strip_prefix(llvm::MARKER_PREFIX) else {
+            continue;
+        };
+        report.markers_consumed += 1;
+        if let Some(ii_text) = suffix.strip_prefix("pipeline_ii_") {
+            let ii: i64 = ii_text
+                .parse()
+                .map_err(|e| ir_error!("bad pipeline marker `{callee}`: {e}"))?;
+            let loop_op = enclosing_loop(ctx, op)
+                .ok_or_else(|| ir_error!("pipeline marker outside any loop"))?;
+            ctx.set_attr(loop_op, ATTR_PIPELINE_II, Attribute::int(ii));
+            *report.pipelined_loops.entry(ii).or_default() += 1;
+            ctx.erase_op(op);
+        } else if let Some(factor_text) = suffix.strip_prefix("unroll_factor_") {
+            let factor: i64 = factor_text
+                .parse()
+                .map_err(|e| ir_error!("bad unroll marker `{callee}`: {e}"))?;
+            let loop_op = enclosing_loop(ctx, op)
+                .ok_or_else(|| ir_error!("unroll marker outside any loop"))?;
+            ctx.set_attr(loop_op, ATTR_UNROLL, Attribute::int(factor));
+            *report.unrolled_loops.entry(factor).or_default() += 1;
+            ctx.erase_op(op);
+        } else if suffix == "dataflow" {
+            let region_op = ctx
+                .parent_op(op)
+                .ok_or_else(|| ir_error!("dataflow marker outside any region"))?;
+            ctx.set_attr(region_op, ATTR_DATAFLOW, Attribute::Unit);
+            report.dataflow_regions += 1;
+            ctx.erase_op(op);
+        } else if let Some(rest) = suffix.strip_prefix("interface_") {
+            // Encoded as `<protocol>_<bundle>` where protocol itself may
+            // contain an underscore (m_axi, s_axilite).
+            let (protocol, bundle) = split_interface(rest)?;
+            report.interfaces.push((protocol, bundle));
+            ctx.erase_op(op);
+        } else if let Some(rest) = suffix.strip_prefix("array_partition_") {
+            let parts: Vec<&str> = rest.split('_').collect();
+            ir_ensure!(parts.len() == 3, "bad array_partition marker `{callee}`");
+            let kind = parts[0].to_string();
+            let factor: i64 = parts[1].parse().map_err(|e| ir_error!("bad factor: {e}"))?;
+            let dim: i64 = parts[2].parse().map_err(|e| ir_error!("bad dim: {e}"))?;
+            report.array_partitions.push((kind, factor, dim));
+            ctx.erase_op(op);
+        } else if suffix.starts_with("stream_") {
+            // Stream access shims are backend runtime calls, not
+            // directives; they stay in the IR (the backend links them).
+            report.markers_consumed -= 1;
+        } else {
+            ir_bail!("unrecognised marker `{callee}`");
+        }
+    }
+    Ok(report)
+}
+
+/// Innermost `scf.for` containing `op` (the paper: "LLVM passes that
+/// determine where in the loop tree the call was found").
+fn enclosing_loop(ctx: &Context, op: OpId) -> Option<OpId> {
+    let mut current = ctx.parent_op(op)?;
+    loop {
+        if ctx.op_name(current) == scf::FOR {
+            return Some(current);
+        }
+        current = ctx.parent_op(current)?;
+    }
+}
+
+fn split_interface(rest: &str) -> IrResult<(String, String)> {
+    for protocol in ["m_axi", "s_axilite"] {
+        if let Some(bundle) = rest
+            .strip_prefix(protocol)
+            .and_then(|r| r.strip_prefix('_'))
+        {
+            return Ok((protocol.to_string(), bundle.to_string()));
+        }
+    }
+    ir_bail!("cannot split interface marker `{rest}`")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hmls::{stencil_to_hls, HmlsOptions};
+    use crate::llvm_lowering::hls_to_llvm;
+    use shmls_dialects::builtin::create_module;
+    use shmls_frontend::{lower_kernel, parse_kernel};
+
+    const MULTI: &str = r#"
+kernel multi {
+  grid(6, 5, 4)
+  halo 1
+  field u : input
+  field v : input
+  field su : output
+  field sv : output
+  param tz[k]
+  const c
+  compute su { su = c * (u[1,0,0] - u[-1,0,0]) + tz[k] * v[0,0,0] }
+  compute sv { sv = v[0,1,0] + v[0,-1,0] + u[0,0,1] }
+}
+"#;
+
+    fn run() -> (Context, OpId, crate::hmls::HmlsReport, DirectiveReport) {
+        let k = parse_kernel(MULTI).unwrap();
+        let mut ctx = Context::new();
+        let (_module, body) = create_module(&mut ctx);
+        let lowered = lower_kernel(&mut ctx, body, &k).unwrap();
+        let hls_out = stencil_to_hls(&mut ctx, lowered.func, &HmlsOptions::default()).unwrap();
+        let llvm_func = hls_to_llvm(&mut ctx, hls_out.func).unwrap();
+        let report = run_fpp(&mut ctx, llvm_func).unwrap();
+        (ctx, llvm_func, hls_out.report, report)
+    }
+
+    #[test]
+    fn round_trip_recovers_all_directives() {
+        let (_ctx, _f, hmls_report, fpp_report) = run();
+        // Every pipelined loop (compute + dup stages) recovered at II = 1.
+        let expected_loops = hmls_report.compute_stages + hmls_report.dup_stages;
+        assert_eq!(
+            fpp_report.pipelined_loops.get(&1).copied(),
+            Some(expected_loops)
+        );
+        // Dataflow regions: load + 2 shifts + 2 dups + 2 computes + write.
+        assert_eq!(fpp_report.dataflow_regions, 8);
+        // One interface per function argument; bundles match step 9.
+        let bundles: Vec<&str> = fpp_report
+            .interfaces
+            .iter()
+            .map(|(_, b)| b.as_str())
+            .collect();
+        assert_eq!(
+            bundles,
+            hmls_report
+                .bundles
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+        );
+        // One stream depth per created stream.
+        assert_eq!(fpp_report.stream_depths.len(), hmls_report.streams);
+    }
+
+    #[test]
+    fn markers_are_consumed() {
+        let (ctx, f, _h, report) = run();
+        assert!(report.markers_consumed > 0);
+        for op in ctx.walk_collect(f) {
+            if ctx.op_name(op) == llvm::CALL {
+                let callee = llvm::callee(&ctx, op).unwrap_or_default();
+                assert!(
+                    !callee.starts_with(llvm::MARKER_PREFIX)
+                        || callee.starts_with("_shmls_stream_"),
+                    "directive marker `{callee}` survived fpp"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loops_carry_metadata() {
+        let (ctx, f, _h, _r) = run();
+        let pipelined: Vec<_> = ctx
+            .find_ops(f, scf::FOR)
+            .into_iter()
+            .filter(|&l| ctx.attr(l, ATTR_PIPELINE_II).is_some())
+            .collect();
+        assert!(!pipelined.is_empty());
+        for l in pipelined {
+            assert_eq!(
+                ctx.attr(l, ATTR_PIPELINE_II).and_then(Attribute::as_int),
+                Some(1)
+            );
+        }
+    }
+
+    #[test]
+    fn dataflow_regions_carry_metadata() {
+        let (ctx, f, _h, r) = run();
+        let marked = ctx
+            .find_ops(f, crate::llvm_lowering::LLVM_REGION)
+            .into_iter()
+            .filter(|&o| ctx.attr(o, ATTR_DATAFLOW).is_some())
+            .count();
+        assert_eq!(marked, r.dataflow_regions);
+    }
+
+    #[test]
+    fn interface_split_handles_protocols() {
+        assert_eq!(
+            split_interface("m_axi_gmem0").unwrap(),
+            ("m_axi".to_string(), "gmem0".to_string())
+        );
+        assert_eq!(
+            split_interface("s_axilite_control").unwrap(),
+            ("s_axilite".to_string(), "control".to_string())
+        );
+        assert!(split_interface("bogus_gmem0").is_err());
+    }
+}

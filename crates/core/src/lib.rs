@@ -1,0 +1,75 @@
+//! # stencil-hmls — automatic optimisation of stencil codes for FPGA
+//!
+//! Rust reproduction of *"Stencil-HMLS: A multi-layered approach to the
+//! automatic optimisation of stencil codes on FPGA"* (SC-W 2023). The crate
+//! implements the paper's compiler: stencil-dialect IR in, an optimised
+//! HLS-dialect dataflow design out (plus the lowering to annotated
+//! LLVM-dialect IR and the `f++`-equivalent directive pass).
+//!
+//! Pipeline stages (see DESIGN.md for the per-experiment map):
+//!
+//! - [`classify`] — step 1: kernel-argument classification.
+//! - [`fuse`] / [`split`] — the CPU-favoured fusion and the FPGA-favoured
+//!   per-field split (step 4).
+//! - [`shift_buffer`] — window geometry shared by transform, runtime and
+//!   resource model (steps 3/5, Figure 2).
+//! - [`hmls`] — the stencil→HLS dataflow construction (steps 2–9,
+//!   Figure 3).
+//! - [`cpu_lowering`] — the reference Von-Neumann lowering (baseline
+//!   structure, golden path).
+//! - [`llvm_lowering`] — HLS dialect → annotation-encoded LLVM dialect.
+//! - [`fpp`] — the f++ equivalent: marker-call pattern matching back into
+//!   structured directives.
+//! - [`driver`] — end-to-end compilation entry points.
+//!
+//! ## Example
+//!
+//! ```
+//! use stencil_hmls::runner::{run_hls, run_stencil, KernelData};
+//! use stencil_hmls::{compile, CompileOptions};
+//!
+//! let compiled = compile(
+//!     r#"
+//! kernel blur {
+//!   grid(8, 8)
+//!   halo 1
+//!   field a : input
+//!   field b : output
+//!   compute b { b = 0.25 * (a[-1,0] + a[1,0] + a[0,-1] + a[0,1]) }
+//! }
+//! "#,
+//!     &CompileOptions::default(),
+//! )
+//! .unwrap();
+//!
+//! // Bind a halo-padded input buffer and simulate the dataflow design.
+//! let mut a = shmls_ir::interp::Buffer::zeroed(vec![10, 10], vec![-1, -1]);
+//! a.store(&[4, 4], 8.0).unwrap();
+//! let data = KernelData::default().buffer("a", a);
+//! let (dataflow, _stats) = run_hls(&compiled, &data).unwrap();
+//! let reference = run_stencil(&compiled, &data).unwrap();
+//! assert_eq!(
+//!     dataflow["b"].load(&[4, 5]).unwrap(),
+//!     reference["b"].load(&[4, 5]).unwrap(),
+//! );
+//! assert_eq!(dataflow["b"].load(&[4, 5]).unwrap(), 2.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod canonicalize;
+pub mod classify;
+pub mod cpu_lowering;
+pub mod driver;
+pub mod dse;
+pub mod fpp;
+pub mod fuse;
+pub mod hmls;
+pub mod llvm_lowering;
+pub mod runner;
+pub mod shift_buffer;
+pub mod split;
+pub mod synthesis_report;
+
+pub use driver::{compile, compile_kernel, CompileOptions, CompiledKernel, TargetPath};
+pub use hmls::{stencil_to_hls, HmlsOptions, HmlsOutput, HmlsReport};

@@ -1,0 +1,344 @@
+//! Convenience runners: execute a [`CompiledKernel`] through any of the
+//! four paths (stencil interpretation, CPU loops, HLS sequential engine,
+//! HLS threaded engine) from the same named buffers.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use shmls_fpga_sim::executor::execute_hls_kernel;
+use shmls_fpga_sim::threaded::{execute_threaded, ThreadedOutcome};
+use shmls_frontend::{FieldKind, KernelArg};
+use shmls_ir::error::IrResult;
+use shmls_ir::interp::{Buffer, Machine, NoExtern, RtValue, Store};
+use shmls_ir::{ir_bail, ir_error};
+
+use crate::driver::CompiledKernel;
+
+/// Named input data for a kernel run.
+#[derive(Debug, Clone, Default)]
+pub struct KernelData {
+    /// Field and parameter buffers by name. Field buffers must be
+    /// halo-padded (`origin = -halo`); parameter buffers span
+    /// `n + 2·halo` with origin 0.
+    pub buffers: BTreeMap<String, Buffer>,
+    /// Scalar constants by name.
+    pub scalars: BTreeMap<String, f64>,
+}
+
+impl KernelData {
+    /// Insert a buffer.
+    pub fn buffer(mut self, name: &str, buffer: Buffer) -> Self {
+        self.buffers.insert(name.to_string(), buffer);
+        self
+    }
+
+    /// Insert a scalar.
+    pub fn scalar(mut self, name: &str, value: f64) -> Self {
+        self.scalars.insert(name.to_string(), value);
+        self
+    }
+}
+
+/// Allocate the kernel arguments in `store` and return
+/// `(args, name → handle)` in signature order.
+fn bind_args(
+    compiled: &CompiledKernel,
+    data: &KernelData,
+    store: &mut Store,
+) -> IrResult<(Vec<RtValue>, BTreeMap<String, usize>)> {
+    let bounded = shmls_ir::types::StencilBounds::from_extents(&compiled.signature.grid)
+        .grown(compiled.signature.halo);
+    let mut args = Vec::new();
+    let mut handles = BTreeMap::new();
+    for arg in &compiled.signature.args {
+        match arg {
+            KernelArg::Field(name, _) => {
+                let buffer = match data.buffers.get(name) {
+                    Some(b) => b.clone(),
+                    None => Buffer::zeroed(bounded.extents(), bounded.lb.clone()),
+                };
+                if buffer.shape != bounded.extents() {
+                    ir_bail!(
+                        "field `{name}`: buffer shape {:?} does not match padded grid {:?}",
+                        buffer.shape,
+                        bounded.extents()
+                    );
+                }
+                let h = store.alloc(buffer);
+                handles.insert(name.clone(), h);
+                args.push(RtValue::MemRef(h));
+            }
+            KernelArg::Param(name, _, extent) => {
+                let buffer = match data.buffers.get(name) {
+                    Some(b) => b.clone(),
+                    None => Buffer::zeroed(vec![*extent], vec![0]),
+                };
+                let h = store.alloc(buffer);
+                handles.insert(name.clone(), h);
+                args.push(RtValue::MemRef(h));
+            }
+            KernelArg::Const(name) => {
+                let v = *data
+                    .scalars
+                    .get(name)
+                    .ok_or_else(|| ir_error!("missing scalar constant `{name}`"))?;
+                args.push(RtValue::F64(v));
+            }
+        }
+    }
+    Ok((args, handles))
+}
+
+/// Collect the externally written fields from a final store.
+fn collect_outputs(
+    compiled: &CompiledKernel,
+    store: &Store,
+    handles: &BTreeMap<String, usize>,
+) -> IrResult<BTreeMap<String, Buffer>> {
+    let mut out = BTreeMap::new();
+    for arg in &compiled.signature.args {
+        if let KernelArg::Field(name, kind) = arg {
+            if matches!(kind, FieldKind::Output | FieldKind::InOut) {
+                out.insert(name.clone(), store.get(handles[name])?.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Run the frontend's stencil-dialect function directly (reference
+/// semantics).
+pub fn run_stencil(
+    compiled: &CompiledKernel,
+    data: &KernelData,
+) -> IrResult<BTreeMap<String, Buffer>> {
+    let mut no = NoExtern;
+    let mut machine = Machine::new(&compiled.ctx, compiled.module, &mut no);
+    let (args, handles) = bind_args(compiled, data, &mut machine.store)?;
+    machine.call(&compiled.kernel.name, &args)?;
+    collect_outputs(compiled, &machine.store, &handles)
+}
+
+/// Run the CPU (Von-Neumann loop nest) lowering.
+pub fn run_cpu(compiled: &CompiledKernel, data: &KernelData) -> IrResult<BTreeMap<String, Buffer>> {
+    if compiled.cpu_func.is_none() {
+        ir_bail!("kernel was compiled without the CPU path");
+    }
+    let mut no = NoExtern;
+    let mut machine = Machine::new(&compiled.ctx, compiled.module, &mut no);
+    let (args, handles) = bind_args(compiled, data, &mut machine.store)?;
+    machine.call(&compiled.cpu_name(), &args)?;
+    collect_outputs(compiled, &machine.store, &handles)
+}
+
+/// Stream statistics from a sequential-engine run:
+/// `(streams created, elements pushed, 512-bit memory beats)`.
+pub type StreamStats = (usize, u64, u64);
+
+/// Run the Stencil-HMLS dataflow design on the sequential (Kahn) engine,
+/// returning the written fields and the run's [`StreamStats`].
+pub fn run_hls(
+    compiled: &CompiledKernel,
+    data: &KernelData,
+) -> IrResult<(BTreeMap<String, Buffer>, StreamStats)> {
+    let mut handles_out = BTreeMap::new();
+    let (store, runtime) = execute_hls_kernel(
+        &compiled.ctx,
+        compiled.module,
+        &compiled.hls_name(),
+        |store| {
+            let (args, handles) =
+                bind_args(compiled, data, store).expect("argument binding failed");
+            handles_out = handles;
+            args
+        },
+    )?;
+    let outputs = collect_outputs(compiled, &store, &handles_out)?;
+    let (n_streams, pushed, _) = runtime.streams.stats();
+    Ok((outputs, (n_streams, pushed, runtime.mem_beats)))
+}
+
+/// Run the Stencil-HMLS design on the threaded engine (bounded FIFOs, one
+/// thread per stage). Returns `None` when the run deadlocks.
+pub fn run_hls_threaded(
+    compiled: &CompiledKernel,
+    data: &KernelData,
+    watchdog: Duration,
+) -> IrResult<Option<BTreeMap<String, Buffer>>> {
+    let mut handles_out = BTreeMap::new();
+    let outcome = execute_threaded(
+        &compiled.ctx,
+        compiled.module,
+        &compiled.hls_name(),
+        |store| {
+            let (args, handles) =
+                bind_args(compiled, data, store).expect("argument binding failed");
+            handles_out = handles;
+            args
+        },
+        watchdog,
+    )?;
+    match outcome {
+        ThreadedOutcome::Completed { store, .. } => {
+            Ok(Some(collect_outputs(compiled, &store, &handles_out)?))
+        }
+        ThreadedOutcome::Deadlock { .. } => Ok(None),
+    }
+}
+
+/// Maximum absolute difference between two output maps over the interior.
+pub fn max_output_diff(
+    a: &BTreeMap<String, Buffer>,
+    b: &BTreeMap<String, Buffer>,
+    interior_lb: &[i64],
+    interior_ub: &[i64],
+) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (name, ba) in a {
+        let bb = &b[name];
+        for p in shmls_ir::interp::iter_box(interior_lb, interior_ub) {
+            let va = ba.load(&p).unwrap_or(f64::NAN);
+            let vb = bb.load(&p).unwrap_or(f64::NAN);
+            worst = worst.max((va - vb).abs());
+        }
+    }
+    worst
+}
+
+// ---- compute-unit replication (domain decomposition) --------------------
+
+/// Execute a kernel over `cus` compute units by domain decomposition along
+/// the first axis, mirroring §4's CU replication (4 CUs for PW advection).
+///
+/// Each CU owns a contiguous slab `[start, end)` of axis 0 and receives a
+/// halo-padded copy of its inputs; every distinct slab height is compiled
+/// to its own design — the static-shape property the paper's future work
+/// calls out ("the current implementation with static shape needs … a new
+/// bitstream per problem size").
+///
+/// Returns the merged outputs, exactly as a single-CU run would produce.
+pub fn run_hls_multi_cu(
+    kernel: &shmls_frontend::KernelDef,
+    data: &KernelData,
+    cus: usize,
+    opts: &crate::driver::CompileOptions,
+) -> IrResult<BTreeMap<String, Buffer>> {
+    if cus == 0 {
+        ir_bail!("at least one compute unit required");
+    }
+    let n0 = kernel.grid[0];
+    if (cus as i64) > n0 {
+        ir_bail!("cannot split {n0} rows over {cus} compute units");
+    }
+    let halo = kernel.halo;
+    let bounded = shmls_ir::types::StencilBounds::from_extents(&kernel.grid).grown(halo);
+
+    // Global output buffers to merge into.
+    let mut outputs: BTreeMap<String, Buffer> = kernel
+        .fields
+        .iter()
+        .filter(|f| matches!(f.kind, FieldKind::Output | FieldKind::InOut))
+        .map(|f| {
+            (
+                f.name.clone(),
+                Buffer::zeroed(bounded.extents(), bounded.lb.clone()),
+            )
+        })
+        .collect();
+
+    // Cache compiled designs by slab height (static shapes!).
+    let mut designs: BTreeMap<i64, CompiledKernel> = BTreeMap::new();
+
+    let base = n0 / cus as i64;
+    let remainder = n0 % cus as i64;
+    let mut start = 0i64;
+    for cu in 0..cus as i64 {
+        let height = base + i64::from(cu < remainder);
+        let end = start + height;
+
+        match designs.get(&height) {
+            Some(_) => (),
+            None => {
+                let mut slab_kernel = kernel.clone();
+                slab_kernel.grid[0] = height;
+                let compiled = crate::driver::compile_kernel(
+                    slab_kernel,
+                    &crate::driver::CompileOptions {
+                        paths: crate::driver::TargetPath::HlsOnly,
+                        ..opts.clone()
+                    },
+                )?;
+                designs.insert(height, compiled);
+            }
+        };
+        let compiled = designs.get(&height).expect("just inserted");
+
+        // Slice the inputs: the slab's padded box is [start-h, end+h) on
+        // axis 0 and the full padded range on the other axes.
+        let mut slab_data = KernelData::default();
+        for (name, value) in &data.scalars {
+            slab_data = slab_data.scalar(name, *value);
+        }
+        for field in &kernel.fields {
+            if !matches!(field.kind, FieldKind::Input | FieldKind::InOut) {
+                continue;
+            }
+            let global = data
+                .buffers
+                .get(&field.name)
+                .ok_or_else(|| ir_error!("missing input buffer `{}`", field.name))?;
+            let mut slab_extents = bounded.extents();
+            slab_extents[0] = height + 2 * halo;
+            let mut slab_lb = bounded.lb.clone();
+            slab_lb[0] = -halo;
+            let mut slab = Buffer::zeroed(slab_extents, slab_lb);
+            // Copy [start-h, end+h) x full x full, re-indexed to the slab.
+            let mut lo = bounded.lb.clone();
+            lo[0] = start - halo;
+            let mut hi = bounded.ub.clone();
+            hi[0] = end + halo;
+            for p in shmls_ir::interp::iter_box(&lo, &hi) {
+                let mut q = p.clone();
+                q[0] -= start;
+                slab.store(&q, global.load(&p)?)?;
+            }
+            slab_data = slab_data.buffer(&field.name, slab);
+        }
+        for p in &kernel.params {
+            // Params on the split axis would need slab slicing; the
+            // frontend restricts params to a single axis, and we slice
+            // when that axis is the split axis.
+            let global = data
+                .buffers
+                .get(&p.name)
+                .ok_or_else(|| ir_error!("missing param buffer `{}`", p.name))?;
+            if p.axis == 0 {
+                let mut slab = Buffer::zeroed(vec![height + 2 * halo], vec![0]);
+                for i in 0..height + 2 * halo {
+                    slab.store(&[i], global.load(&[i + start])?)?;
+                }
+                slab_data = slab_data.buffer(&p.name, slab);
+            } else {
+                slab_data = slab_data.buffer(&p.name, global.clone());
+            }
+        }
+
+        let (slab_out, _) = run_hls(compiled, &slab_data)?;
+        for (name, slab_buffer) in &slab_out {
+            let global = outputs
+                .get_mut(name)
+                .ok_or_else(|| ir_error!("unexpected output `{name}`"))?;
+            let mut lo = vec![0i64; kernel.rank()];
+            let mut hi = kernel.grid.clone();
+            lo[0] = 0;
+            hi[0] = height;
+            for p in shmls_ir::interp::iter_box(&lo, &hi) {
+                let mut q = p.clone();
+                q[0] += start;
+                global.store(&q, slab_buffer.load(&p)?)?;
+            }
+        }
+        start = end;
+    }
+    Ok(outputs)
+}

@@ -1,0 +1,7 @@
+//! Shift-buffer geometry (§3.3, Figure 2) — re-exported from
+//! [`shmls_dialects::window`], where it is shared with the simulator's
+//! runtime implementation and resource estimator.
+
+pub use shmls_dialects::window::{
+    linearize, offset_to_window_pos, shift_register_len, window_offsets, window_size,
+};

@@ -1,0 +1,244 @@
+//! `arith` dialect: constants, arithmetic and comparisons.
+
+use shmls_ir::ir_ensure;
+use shmls_ir::prelude::*;
+
+/// `arith.constant` op name.
+pub const CONSTANT: &str = "arith.constant";
+
+/// Build an f64 constant.
+pub fn constant_f64(b: &mut OpBuilder<'_>, v: f64) -> ValueId {
+    let mut attrs = std::collections::BTreeMap::new();
+    attrs.insert("value".to_string(), Attribute::f64(v));
+    let op = b.build_with_attrs(CONSTANT, vec![], vec![Type::F64], attrs);
+    b.ctx_ref().result(op, 0)
+}
+
+/// Build an index constant.
+pub fn constant_index(b: &mut OpBuilder<'_>, v: i64) -> ValueId {
+    let mut attrs = std::collections::BTreeMap::new();
+    attrs.insert("value".to_string(), Attribute::index(v));
+    let op = b.build_with_attrs(CONSTANT, vec![], vec![Type::Index], attrs);
+    b.ctx_ref().result(op, 0)
+}
+
+/// Build an i64 constant.
+pub fn constant_i64(b: &mut OpBuilder<'_>, v: i64) -> ValueId {
+    let mut attrs = std::collections::BTreeMap::new();
+    attrs.insert("value".to_string(), Attribute::int(v));
+    let op = b.build_with_attrs(CONSTANT, vec![], vec![Type::I64], attrs);
+    b.ctx_ref().result(op, 0)
+}
+
+macro_rules! float_binop {
+    ($(#[$doc:meta])* $fn_name:ident, $op_name:expr) => {
+        $(#[$doc])*
+        pub fn $fn_name(b: &mut OpBuilder<'_>, lhs: ValueId, rhs: ValueId) -> ValueId {
+            b.build_value($op_name, vec![lhs, rhs], Type::F64)
+        }
+    };
+}
+
+float_binop!(
+    /// `lhs + rhs` on f64.
+    addf, "arith.addf"
+);
+float_binop!(
+    /// `lhs - rhs` on f64.
+    subf, "arith.subf"
+);
+float_binop!(
+    /// `lhs * rhs` on f64.
+    mulf, "arith.mulf"
+);
+float_binop!(
+    /// `lhs / rhs` on f64.
+    divf, "arith.divf"
+);
+float_binop!(
+    /// `max(lhs, rhs)` on f64.
+    maximumf, "arith.maximumf"
+);
+float_binop!(
+    /// `min(lhs, rhs)` on f64.
+    minimumf, "arith.minimumf"
+);
+
+/// `-v` on f64.
+pub fn negf(b: &mut OpBuilder<'_>, v: ValueId) -> ValueId {
+    b.build_value("arith.negf", vec![v], Type::F64)
+}
+
+macro_rules! int_binop {
+    ($(#[$doc:meta])* $fn_name:ident, $op_name:expr) => {
+        $(#[$doc])*
+        pub fn $fn_name(b: &mut OpBuilder<'_>, lhs: ValueId, rhs: ValueId) -> ValueId {
+            let ty = b.ctx_ref().value_type(lhs).clone();
+            b.build_value($op_name, vec![lhs, rhs], ty)
+        }
+    };
+}
+
+int_binop!(
+    /// `lhs + rhs` on integers/index.
+    addi, "arith.addi"
+);
+int_binop!(
+    /// `lhs - rhs` on integers/index.
+    subi, "arith.subi"
+);
+int_binop!(
+    /// `lhs * rhs` on integers/index.
+    muli, "arith.muli"
+);
+int_binop!(
+    /// `lhs / rhs` (signed) on integers/index.
+    divsi, "arith.divsi"
+);
+int_binop!(
+    /// `lhs % rhs` (signed) on integers/index.
+    remsi, "arith.remsi"
+);
+
+/// Signed integer comparison; `pred` is one of eq/ne/slt/sle/sgt/sge.
+pub fn cmpi(b: &mut OpBuilder<'_>, pred: &str, lhs: ValueId, rhs: ValueId) -> ValueId {
+    let mut attrs = std::collections::BTreeMap::new();
+    attrs.insert("predicate".to_string(), Attribute::string(pred));
+    let op = b.build_with_attrs("arith.cmpi", vec![lhs, rhs], vec![Type::I1], attrs);
+    b.ctx_ref().result(op, 0)
+}
+
+/// Ordered float comparison; `pred` is one of oeq/one/olt/ole/ogt/oge.
+pub fn cmpf(b: &mut OpBuilder<'_>, pred: &str, lhs: ValueId, rhs: ValueId) -> ValueId {
+    let mut attrs = std::collections::BTreeMap::new();
+    attrs.insert("predicate".to_string(), Attribute::string(pred));
+    let op = b.build_with_attrs("arith.cmpf", vec![lhs, rhs], vec![Type::I1], attrs);
+    b.ctx_ref().result(op, 0)
+}
+
+/// `cond ? a : b`.
+pub fn select(b: &mut OpBuilder<'_>, cond: ValueId, a: ValueId, v: ValueId) -> ValueId {
+    let ty = b.ctx_ref().value_type(a).clone();
+    b.build_value("arith.select", vec![cond, a, v], ty)
+}
+
+/// Cast between integer-like types (`index` ↔ `i64` etc.).
+pub fn index_cast(b: &mut OpBuilder<'_>, v: ValueId, to: Type) -> ValueId {
+    b.build_value("arith.index_cast", vec![v], to)
+}
+
+/// Integer to float conversion.
+pub fn sitofp(b: &mut OpBuilder<'_>, v: ValueId) -> ValueId {
+    b.build_value("arith.sitofp", vec![v], Type::F64)
+}
+
+/// The constant value attribute, if `op` is an `arith.constant`.
+pub fn constant_value(ctx: &Context, op: OpId) -> Option<&Attribute> {
+    if ctx.op_name(op) == CONSTANT {
+        ctx.attr(op, "value")
+    } else {
+        None
+    }
+}
+
+/// True for the side-effect-free arith/math op names (used by DCE).
+pub fn is_pure(name: &str) -> bool {
+    name.starts_with("arith.") || name.starts_with("math.")
+}
+
+/// Verifier rules for the arith dialect.
+pub fn register_verifiers(v: &mut shmls_ir::verifier::OpVerifiers) {
+    v.register(CONSTANT, |ctx, op| {
+        let value = ctx
+            .attr(op, "value")
+            .ok_or_else(|| shmls_ir::ir_error!("arith.constant needs a value attribute"))?;
+        ir_ensure!(ctx.results(op).len() == 1, "arith.constant has one result");
+        let rt = ctx.value_type(ctx.result(op, 0));
+        match value {
+            Attribute::Int(_, t) | Attribute::Float(_, t) => {
+                ir_ensure!(t == rt, "constant type {t} does not match result type {rt}");
+            }
+            other => shmls_ir::ir_bail!("bad constant attribute {other}"),
+        }
+        Ok(())
+    });
+    for name in ["arith.addf", "arith.subf", "arith.mulf", "arith.divf"] {
+        v.register(name, |ctx, op| {
+            ir_ensure!(
+                ctx.operands(op).len() == 2,
+                "float binop takes two operands"
+            );
+            for &o in ctx.operands(op) {
+                ir_ensure!(
+                    ctx.value_type(o).is_float(),
+                    "float binop operand has non-float type {}",
+                    ctx.value_type(o)
+                );
+            }
+            Ok(())
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::create_module;
+    use shmls_ir::verifier::{verify_with, OpVerifiers};
+
+    fn verifiers() -> OpVerifiers {
+        let mut v = OpVerifiers::new();
+        register_verifiers(&mut v);
+        v
+    }
+
+    #[test]
+    fn builders_and_types() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let x = constant_f64(&mut b, 2.0);
+        let y = constant_f64(&mut b, 3.0);
+        let s = addf(&mut b, x, y);
+        let p = mulf(&mut b, s, s);
+        let i = constant_index(&mut b, 4);
+        let j = addi(&mut b, i, i);
+        let c = cmpi(&mut b, "slt", i, j);
+        let _sel = select(&mut b, c, x, y);
+        assert_eq!(ctx.value_type(p), &Type::F64);
+        assert_eq!(ctx.value_type(j), &Type::Index);
+        assert_eq!(ctx.value_type(c), &Type::I1);
+        verify_with(&ctx, module, &verifiers()).unwrap();
+    }
+
+    #[test]
+    fn constant_type_mismatch_rejected() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let x = constant_f64(&mut b, 2.0);
+        let op = ctx.defining_op(x).unwrap();
+        ctx.set_attr(op, "value", Attribute::int(2));
+        let e = verify_with(&ctx, module, &verifiers()).unwrap_err();
+        assert!(e.to_string().contains("does not match result type"), "{e}");
+    }
+
+    #[test]
+    fn float_binop_int_operand_rejected() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let i = constant_index(&mut b, 1);
+        b.build("arith.addf", vec![i, i], vec![Type::F64]);
+        let e = verify_with(&ctx, module, &verifiers()).unwrap_err();
+        assert!(e.to_string().contains("non-float"), "{e}");
+    }
+
+    #[test]
+    fn purity() {
+        assert!(is_pure("arith.addf"));
+        assert!(is_pure("math.sqrt"));
+        assert!(!is_pure("memref.store"));
+        assert!(!is_pure("hls.write"));
+    }
+}

@@ -1,0 +1,349 @@
+//! `hls` dialect: the paper's contribution (1) — a vendor-agnostic MLIR
+//! dialect abstracting the high-level-synthesis features of AMD Xilinx
+//! Vitis (Listings 2 and 3 of the paper).
+//!
+//! The ten operations:
+//!
+//! | op | meaning |
+//! |---|---|
+//! | `hls.create_stream` | create a FIFO stream of the result's element type |
+//! | `hls.read` | blocking pop from a stream |
+//! | `hls.write` | blocking push into a stream |
+//! | `hls.empty` | non-blocking emptiness test |
+//! | `hls.full` | non-blocking fullness test |
+//! | `hls.pipeline` | request a pipelined loop with the given II |
+//! | `hls.unroll` | request loop unrolling with the given factor |
+//! | `hls.array_partition` | partition a local array across BRAMs |
+//! | `hls.dataflow` | a region whose top-level stages run concurrently |
+//! | `hls.interface` | bind a kernel argument to an AXI bundle/port |
+//!
+//! The paper's `hls.streamtype` attribute is realised as the
+//! `!hls.stream<T>` type; `hls.axi_protocol` as the `protocol` attribute of
+//! `hls.interface`.
+
+use shmls_ir::ir_ensure;
+use shmls_ir::prelude::*;
+
+/// `hls.create_stream` op name.
+pub const CREATE_STREAM: &str = "hls.create_stream";
+/// `hls.read` op name.
+pub const READ: &str = "hls.read";
+/// `hls.write` op name.
+pub const WRITE: &str = "hls.write";
+/// `hls.empty` op name.
+pub const EMPTY: &str = "hls.empty";
+/// `hls.full` op name.
+pub const FULL: &str = "hls.full";
+/// `hls.pipeline` op name.
+pub const PIPELINE: &str = "hls.pipeline";
+/// `hls.unroll` op name.
+pub const UNROLL: &str = "hls.unroll";
+/// `hls.array_partition` op name.
+pub const ARRAY_PARTITION: &str = "hls.array_partition";
+/// `hls.dataflow` op name.
+pub const DATAFLOW: &str = "hls.dataflow";
+/// `hls.interface` op name.
+pub const INTERFACE: &str = "hls.interface";
+
+/// Default stream depth used when none is requested (matches the Vitis
+/// default FIFO depth of 2, which the paper's runtime deepens for the
+/// shift-buffer streams).
+pub const DEFAULT_STREAM_DEPTH: i64 = 2;
+
+/// AXI4 memory-mapped protocol name used by `hls.interface`.
+pub const AXI4: &str = "m_axi";
+
+/// Build `hls.create_stream` carrying elements of `elem` with FIFO `depth`.
+pub fn create_stream(b: &mut OpBuilder<'_>, elem: Type, depth: i64) -> ValueId {
+    let mut attrs = std::collections::BTreeMap::new();
+    attrs.insert("depth".to_string(), Attribute::int(depth));
+    let op = b.build_with_attrs(CREATE_STREAM, vec![], vec![Type::hls_stream(elem)], attrs);
+    b.ctx_ref().result(op, 0)
+}
+
+/// Build a blocking `hls.read` from `stream`.
+pub fn read(b: &mut OpBuilder<'_>, stream: ValueId) -> ValueId {
+    let elem = b
+        .ctx_ref()
+        .value_type(stream)
+        .element_type()
+        .expect("hls.read on non-stream")
+        .clone();
+    b.build_value(READ, vec![stream], elem)
+}
+
+/// Build a blocking `hls.write` of `value` into `stream`.
+pub fn write(b: &mut OpBuilder<'_>, value: ValueId, stream: ValueId) -> OpId {
+    b.build(WRITE, vec![value, stream], vec![])
+}
+
+/// Build `hls.empty`.
+pub fn empty(b: &mut OpBuilder<'_>, stream: ValueId) -> ValueId {
+    b.build_value(EMPTY, vec![stream], Type::I1)
+}
+
+/// Build `hls.full`.
+pub fn full(b: &mut OpBuilder<'_>, stream: ValueId) -> ValueId {
+    b.build_value(FULL, vec![stream], Type::I1)
+}
+
+/// Build `hls.pipeline` requesting initiation interval `ii` for the
+/// enclosing loop.
+pub fn pipeline(b: &mut OpBuilder<'_>, ii: i64) -> OpId {
+    let mut attrs = std::collections::BTreeMap::new();
+    attrs.insert("ii".to_string(), Attribute::int(ii));
+    b.build_with_attrs(PIPELINE, vec![], vec![], attrs)
+}
+
+/// Build `hls.unroll` requesting the given unroll factor (0 = full unroll)
+/// for the enclosing loop.
+pub fn unroll(b: &mut OpBuilder<'_>, factor: i64) -> OpId {
+    let mut attrs = std::collections::BTreeMap::new();
+    attrs.insert("factor".to_string(), Attribute::int(factor));
+    b.build_with_attrs(UNROLL, vec![], vec![], attrs)
+}
+
+/// Build `hls.array_partition` on a local memref.
+/// `kind` is `"cyclic"`, `"block"` or `"complete"`.
+pub fn array_partition(
+    b: &mut OpBuilder<'_>,
+    memref: ValueId,
+    kind: &str,
+    factor: i64,
+    dim: i64,
+) -> OpId {
+    let mut attrs = std::collections::BTreeMap::new();
+    attrs.insert("kind".to_string(), Attribute::string(kind));
+    attrs.insert("factor".to_string(), Attribute::int(factor));
+    attrs.insert("dim".to_string(), Attribute::int(dim));
+    b.build_with_attrs(ARRAY_PARTITION, vec![memref], vec![], attrs)
+}
+
+/// Build an `hls.dataflow` region op, returning `(op, body_block)`.
+/// All function calls / loops at the top level of the body are separate
+/// concurrent dataflow stages connected by streams.
+pub fn dataflow(b: &mut OpBuilder<'_>) -> (OpId, BlockId) {
+    b.build_with_region(DATAFLOW, vec![], vec![], Default::default(), vec![])
+}
+
+/// Build `hls.interface` binding kernel argument `value` to an AXI bundle.
+pub fn interface(b: &mut OpBuilder<'_>, value: ValueId, protocol: &str, bundle: &str) -> OpId {
+    let mut attrs = std::collections::BTreeMap::new();
+    attrs.insert("protocol".to_string(), Attribute::string(protocol));
+    attrs.insert("bundle".to_string(), Attribute::string(bundle));
+    b.build_with_attrs(INTERFACE, vec![value], vec![], attrs)
+}
+
+/// The `ii` of an `hls.pipeline`.
+pub fn pipeline_ii(ctx: &Context, op: OpId) -> Option<i64> {
+    ctx.attr(op, "ii").and_then(Attribute::as_int)
+}
+
+/// The `depth` of an `hls.create_stream`.
+pub fn stream_depth(ctx: &Context, op: OpId) -> i64 {
+    ctx.attr(op, "depth")
+        .and_then(Attribute::as_int)
+        .unwrap_or(DEFAULT_STREAM_DEPTH)
+}
+
+/// The `(protocol, bundle)` of an `hls.interface`.
+pub fn interface_binding(ctx: &Context, op: OpId) -> Option<(&str, &str)> {
+    let protocol = ctx.attr(op, "protocol")?.as_str()?;
+    let bundle = ctx.attr(op, "bundle")?.as_str()?;
+    Some((protocol, bundle))
+}
+
+/// Verifier rules for the hls dialect.
+pub fn register_verifiers(v: &mut shmls_ir::verifier::OpVerifiers) {
+    v.register(CREATE_STREAM, |ctx, op| {
+        ir_ensure!(
+            ctx.results(op).len() == 1,
+            "hls.create_stream has one result"
+        );
+        let ty = ctx.value_type(ctx.result(op, 0));
+        ir_ensure!(
+            matches!(ty, Type::HlsStream(_)),
+            "hls.create_stream result must be !hls.stream, got {ty}"
+        );
+        let depth = stream_depth(ctx, op);
+        ir_ensure!(depth >= 1, "stream depth must be >= 1, got {depth}");
+        Ok(())
+    });
+    v.register(READ, |ctx, op| {
+        shmls_ir::verifier::expect_counts(ctx, op, 1, 1)?;
+        let ty = ctx.value_type(ctx.operands(op)[0]);
+        let Type::HlsStream(elem) = ty else {
+            shmls_ir::ir_bail!("hls.read operand must be a stream, got {ty}");
+        };
+        ir_ensure!(
+            ctx.value_type(ctx.result(op, 0)) == elem.as_ref(),
+            "hls.read result type must equal stream element type"
+        );
+        Ok(())
+    });
+    v.register(WRITE, |ctx, op| {
+        ir_ensure!(
+            ctx.operands(op).len() == 2,
+            "hls.write takes value and stream"
+        );
+        let vty = ctx.value_type(ctx.operands(op)[0]);
+        let sty = ctx.value_type(ctx.operands(op)[1]);
+        let Type::HlsStream(elem) = sty else {
+            shmls_ir::ir_bail!("hls.write target must be a stream, got {sty}");
+        };
+        ir_ensure!(
+            vty == elem.as_ref(),
+            "hls.write value type {vty} does not match stream element type {elem}"
+        );
+        Ok(())
+    });
+    for name in [EMPTY, FULL] {
+        v.register(name, |ctx, op| {
+            shmls_ir::verifier::expect_counts(ctx, op, 1, 1)?;
+            ir_ensure!(
+                matches!(ctx.value_type(ctx.operands(op)[0]), Type::HlsStream(_)),
+                "stream query operand must be a stream"
+            );
+            ir_ensure!(
+                ctx.value_type(ctx.result(op, 0)) == &Type::I1,
+                "stream query result must be i1"
+            );
+            Ok(())
+        });
+    }
+    v.register(PIPELINE, |ctx, op| {
+        let ii = pipeline_ii(ctx, op)
+            .ok_or_else(|| shmls_ir::ir_error!("hls.pipeline needs an ii attribute"))?;
+        ir_ensure!(ii >= 1, "pipeline II must be >= 1, got {ii}");
+        Ok(())
+    });
+    v.register(UNROLL, |ctx, op| {
+        let f = ctx
+            .attr(op, "factor")
+            .and_then(Attribute::as_int)
+            .ok_or_else(|| shmls_ir::ir_error!("hls.unroll needs a factor attribute"))?;
+        ir_ensure!(f >= 0, "unroll factor must be >= 0, got {f}");
+        Ok(())
+    });
+    v.register(ARRAY_PARTITION, |ctx, op| {
+        shmls_ir::verifier::expect_counts(ctx, op, 1, 0)?;
+        let kind = ctx
+            .attr(op, "kind")
+            .and_then(Attribute::as_str)
+            .ok_or_else(|| shmls_ir::ir_error!("hls.array_partition needs a kind"))?;
+        ir_ensure!(
+            matches!(kind, "cyclic" | "block" | "complete"),
+            "unknown array_partition kind `{kind}`"
+        );
+        ir_ensure!(
+            matches!(ctx.value_type(ctx.operands(op)[0]), Type::MemRef { .. }),
+            "hls.array_partition operates on a memref"
+        );
+        Ok(())
+    });
+    v.register(DATAFLOW, |ctx, op| {
+        ir_ensure!(ctx.regions(op).len() == 1, "hls.dataflow has one region");
+        ir_ensure!(ctx.results(op).is_empty(), "hls.dataflow has no results");
+        Ok(())
+    });
+    v.register(INTERFACE, |ctx, op| {
+        ir_ensure!(ctx.operands(op).len() == 1, "hls.interface binds one value");
+        let (protocol, bundle) = interface_binding(ctx, op)
+            .ok_or_else(|| shmls_ir::ir_error!("hls.interface needs protocol and bundle"))?;
+        ir_ensure!(
+            !bundle.is_empty(),
+            "hls.interface bundle name must not be empty"
+        );
+        ir_ensure!(
+            protocol == AXI4 || protocol == "s_axilite",
+            "unknown interface protocol `{protocol}`"
+        );
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::create_module;
+    use shmls_ir::verifier::{verify_with, OpVerifiers};
+
+    fn verifiers() -> OpVerifiers {
+        let mut v = OpVerifiers::new();
+        register_verifiers(&mut v);
+        v
+    }
+
+    #[test]
+    fn stream_round_trip_types() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let s = create_stream(&mut b, Type::F64, 8);
+        let v = read(&mut b, s);
+        write(&mut b, v, s);
+        let e = empty(&mut b, s);
+        let f = full(&mut b, s);
+        assert_eq!(ctx.value_type(v), &Type::F64);
+        assert_eq!(ctx.value_type(e), &Type::I1);
+        assert_eq!(ctx.value_type(f), &Type::I1);
+        assert_eq!(stream_depth(&ctx, ctx.defining_op(s).unwrap()), 8);
+        verify_with(&ctx, module, &verifiers()).unwrap();
+    }
+
+    #[test]
+    fn write_type_mismatch_rejected() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let s = create_stream(&mut b, Type::F64, 2);
+        let i = crate::arith::constant_index(&mut b, 1);
+        b.build(WRITE, vec![i, s], vec![]);
+        let e = verify_with(&ctx, module, &verifiers()).unwrap_err();
+        assert!(
+            e.to_string().contains("does not match stream element"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn pipeline_ii_validated() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let p = pipeline(&mut b, 1);
+        assert_eq!(pipeline_ii(&ctx, p), Some(1));
+        verify_with(&ctx, module, &verifiers()).unwrap();
+        ctx.set_attr(p, "ii", Attribute::int(0));
+        assert!(verify_with(&ctx, module, &verifiers()).is_err());
+    }
+
+    #[test]
+    fn dataflow_and_interface() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let (_df, inner) = dataflow(&mut b);
+        let mut ib = OpBuilder::at_block_end(&mut ctx, inner);
+        let m = crate::memref::alloc(&mut ib, vec![16], Type::F64);
+        array_partition(&mut ib, m, "cyclic", 4, 0);
+        let iface = interface(&mut ib, m, AXI4, "gmem0");
+        assert_eq!(interface_binding(&ctx, iface), Some((AXI4, "gmem0")));
+        verify_with(&ctx, module, &verifiers()).unwrap();
+    }
+
+    #[test]
+    fn bad_partition_kind_rejected() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let m = crate::memref::alloc(&mut b, vec![16], Type::F64);
+        let p = array_partition(&mut b, m, "cyclic", 4, 0);
+        ctx.set_attr(p, "kind", Attribute::string("diagonal"));
+        let e = verify_with(&ctx, module, &verifiers()).unwrap_err();
+        assert!(
+            e.to_string().contains("unknown array_partition kind"),
+            "{e}"
+        );
+    }
+}

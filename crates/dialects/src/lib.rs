@@ -1,0 +1,92 @@
+//! # shmls-dialects — dialect definitions for the Stencil-HMLS reproduction
+//!
+//! One module per dialect, each providing op-name constants, typed builder
+//! helpers, attribute accessors, and verifier rules:
+//!
+//! - [`builtin`] — the module container.
+//! - [`func`] — functions, calls, returns.
+//! - [`arith`] — constants, arithmetic, comparisons (plus `math.*` names,
+//!   which need no dedicated builders).
+//! - [`scf`] — structured control flow.
+//! - [`memref`] — buffers.
+//! - [`llvm`] — the subset used as the HLS-dialect lowering target.
+//! - [`stencil`] — the high-level stencil IR (pipeline input).
+//! - [`hls`] — the paper's new HLS dialect (pipeline intermediate).
+
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod builtin;
+pub mod func;
+pub mod hls;
+pub mod llvm;
+pub mod memref;
+pub mod scf;
+pub mod stencil;
+pub mod window;
+
+use shmls_ir::verifier::OpVerifiers;
+
+/// Build the verifier registry covering every dialect in this crate.
+pub fn registry() -> OpVerifiers {
+    let mut v = OpVerifiers::new();
+    builtin::register_verifiers(&mut v);
+    func::register_verifiers(&mut v);
+    arith::register_verifiers(&mut v);
+    scf::register_verifiers(&mut v);
+    memref::register_verifiers(&mut v);
+    llvm::register_verifiers(&mut v);
+    stencil::register_verifiers(&mut v);
+    hls::register_verifiers(&mut v);
+    v
+}
+
+/// True for op names without side effects — safe to erase when unused.
+pub fn is_pure(name: &str) -> bool {
+    arith::is_pure(name)
+        || matches!(
+            name,
+            stencil::ACCESS
+                | stencil::INDEX
+                | stencil::LOAD
+                | llvm::GEP
+                | llvm::EXTRACTVALUE
+                | llvm::INSERTVALUE
+                | llvm::UNDEF
+                | llvm::CONSTANT
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_dialects() {
+        let v = registry();
+        assert!(!v.is_empty());
+        for name in [
+            builtin::MODULE,
+            func::FUNC,
+            arith::CONSTANT,
+            scf::FOR,
+            memref::LOAD,
+            llvm::CALL,
+            stencil::APPLY,
+            hls::CREATE_STREAM,
+        ] {
+            assert!(!v.rules_for(name).is_empty(), "no rule for {name}");
+        }
+    }
+
+    #[test]
+    fn purity_table() {
+        assert!(is_pure("arith.addf"));
+        assert!(is_pure(stencil::ACCESS));
+        assert!(is_pure(llvm::GEP));
+        assert!(!is_pure(hls::READ)); // consumes from a FIFO
+        assert!(!is_pure(hls::WRITE));
+        assert!(!is_pure(memref::STORE));
+        assert!(!is_pure(func::CALL));
+    }
+}

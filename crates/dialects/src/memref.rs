@@ -1,0 +1,163 @@
+//! `memref` dialect: buffer allocation and element access.
+
+use shmls_ir::ir_ensure;
+use shmls_ir::prelude::*;
+
+/// `memref.alloc` op name.
+pub const ALLOC: &str = "memref.alloc";
+/// `memref.alloca` op name (stack/BRAM-local allocation).
+pub const ALLOCA: &str = "memref.alloca";
+/// `memref.load` op name.
+pub const LOAD: &str = "memref.load";
+/// `memref.store` op name.
+pub const STORE: &str = "memref.store";
+/// `memref.dealloc` op name.
+pub const DEALLOC: &str = "memref.dealloc";
+
+/// Allocate a static-shaped buffer.
+pub fn alloc(b: &mut OpBuilder<'_>, shape: Vec<i64>, elem: Type) -> ValueId {
+    b.build_value(ALLOC, vec![], Type::memref(shape, elem))
+}
+
+/// Allocate a static-shaped local (BRAM/URAM-resident) buffer.
+pub fn alloca(b: &mut OpBuilder<'_>, shape: Vec<i64>, elem: Type) -> ValueId {
+    b.build_value(ALLOCA, vec![], Type::memref(shape, elem))
+}
+
+/// Load an element.
+pub fn load(b: &mut OpBuilder<'_>, memref: ValueId, indices: Vec<ValueId>) -> ValueId {
+    let elem = b
+        .ctx_ref()
+        .value_type(memref)
+        .element_type()
+        .expect("memref.load on non-memref")
+        .clone();
+    let mut operands = vec![memref];
+    operands.extend(indices);
+    b.build_value(LOAD, operands, elem)
+}
+
+/// Store an element.
+pub fn store(
+    b: &mut OpBuilder<'_>,
+    value: ValueId,
+    memref: ValueId,
+    indices: Vec<ValueId>,
+) -> OpId {
+    let mut operands = vec![value, memref];
+    operands.extend(indices);
+    b.build(STORE, operands, vec![])
+}
+
+/// Verifier rules for the memref dialect.
+pub fn register_verifiers(v: &mut shmls_ir::verifier::OpVerifiers) {
+    for name in [ALLOC, ALLOCA] {
+        v.register(name, |ctx, op| {
+            ir_ensure!(ctx.results(op).len() == 1, "alloc has one result");
+            let ty = ctx.value_type(ctx.result(op, 0));
+            let Type::MemRef { shape, .. } = ty else {
+                shmls_ir::ir_bail!("alloc result must be a memref, got {ty}");
+            };
+            ir_ensure!(
+                shape.iter().all(|&d| d >= 0),
+                "alloc of dynamic shape requires operands (unsupported)"
+            );
+            Ok(())
+        });
+    }
+    v.register(LOAD, |ctx, op| {
+        ir_ensure!(
+            !ctx.operands(op).is_empty(),
+            "memref.load needs a memref operand"
+        );
+        let ty = ctx.value_type(ctx.operands(op)[0]);
+        let Type::MemRef { shape, elem } = ty else {
+            shmls_ir::ir_bail!("memref.load operand must be a memref, got {ty}");
+        };
+        ir_ensure!(
+            ctx.operands(op).len() == 1 + shape.len(),
+            "memref.load needs {} indices for rank-{} memref",
+            shape.len(),
+            shape.len()
+        );
+        ir_ensure!(
+            ctx.value_type(ctx.result(op, 0)) == elem.as_ref(),
+            "memref.load result type must match element type"
+        );
+        Ok(())
+    });
+    v.register(STORE, |ctx, op| {
+        ir_ensure!(
+            ctx.operands(op).len() >= 2,
+            "memref.store needs value and memref"
+        );
+        let ty = ctx.value_type(ctx.operands(op)[1]);
+        let Type::MemRef { shape, elem } = ty else {
+            shmls_ir::ir_bail!("memref.store target must be a memref, got {ty}");
+        };
+        ir_ensure!(
+            ctx.operands(op).len() == 2 + shape.len(),
+            "memref.store needs {} indices for rank-{} memref",
+            shape.len(),
+            shape.len()
+        );
+        ir_ensure!(
+            ctx.value_type(ctx.operands(op)[0]) == elem.as_ref(),
+            "memref.store value type must match element type"
+        );
+        Ok(())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{constant_f64, constant_index};
+    use crate::builtin::create_module;
+    use shmls_ir::verifier::{verify_with, OpVerifiers};
+
+    fn verifiers() -> OpVerifiers {
+        let mut v = OpVerifiers::new();
+        register_verifiers(&mut v);
+        v
+    }
+
+    #[test]
+    fn alloc_load_store_verify() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let m = alloc(&mut b, vec![8, 8], Type::F64);
+        let i = constant_index(&mut b, 1);
+        let j = constant_index(&mut b, 2);
+        let v = constant_f64(&mut b, 3.0);
+        store(&mut b, v, m, vec![i, j]);
+        let l = load(&mut b, m, vec![i, j]);
+        assert_eq!(ctx.value_type(l), &Type::F64);
+        verify_with(&ctx, module, &verifiers()).unwrap();
+    }
+
+    #[test]
+    fn wrong_index_count_rejected() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let m = alloc(&mut b, vec![8, 8], Type::F64);
+        let i = constant_index(&mut b, 1);
+        b.build("memref.load", vec![m, i], vec![Type::F64]);
+        let e = verify_with(&ctx, module, &verifiers()).unwrap_err();
+        assert!(e.to_string().contains("indices"), "{e}");
+    }
+
+    #[test]
+    fn store_type_mismatch_rejected() {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, body);
+        let m = alloc(&mut b, vec![4], Type::F64);
+        let i = constant_index(&mut b, 0);
+        b.build("memref.store", vec![i, m, i], vec![]);
+        let e = verify_with(&ctx, module, &verifiers()).unwrap_err();
+        assert!(e.to_string().contains("value type"), "{e}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Shift-buffer window geometry (paper §3.3, Figure 2).
+//!
+//! The shift buffer turns a row-major element stream of a (halo-padded)
+//! field into a stream of *windows*: for every interior point, all
+//! `(2·halo+1)^rank` neighbouring values (3 in 1D, 9 in 2D, 27 in 3D for
+//! halo 1 — exactly the paper's example). This module holds the pure
+//! geometry shared by the IR transform (step 5's offset→window-position
+//! mapping), the runtime/simulator implementation of `shift_buffer`, and
+//! the resource estimator (shift-register length → BRAM usage).
+
+/// Number of elements in a full window.
+pub fn window_size(rank: usize, halo: i64) -> usize {
+    (2 * halo + 1).pow(rank as u32) as usize
+}
+
+/// Map a stencil access offset (each component in `[-halo, halo]`) to its
+/// position inside the flattened window (row-major, last dim fastest).
+pub fn offset_to_window_pos(offset: &[i64], halo: i64) -> usize {
+    let base = 2 * halo + 1;
+    let mut pos: i64 = 0;
+    for &o in offset {
+        debug_assert!(o.abs() <= halo, "offset {o} outside halo {halo}");
+        pos = pos * base + (o + halo);
+    }
+    pos as usize
+}
+
+/// All window offsets in flattened order (the inverse of
+/// [`offset_to_window_pos`]).
+pub fn window_offsets(rank: usize, halo: i64) -> Vec<Vec<i64>> {
+    let lb = vec![-halo; rank];
+    let ub = vec![halo + 1; rank];
+    shmls_ir::interp::iter_box(&lb, &ub)
+}
+
+/// Length of the shift register needed to hold a full window over a
+/// row-major stream of a field with the given *bounded* extents (interior +
+/// halo): the flattened distance between the first and last window element,
+/// plus one.
+///
+/// For 3D extents `(ex, ey, ez)` and halo `h` this is
+/// `2h·(ey·ez) + 2h·ez + 2h + 1` — the classic "2h planes + 2h rows + a few
+/// elements" sizing that dominates the design's BRAM usage.
+pub fn shift_register_len(bounded_extents: &[i64], halo: i64) -> i64 {
+    let rank = bounded_extents.len();
+    let mut stride = 1i64;
+    let mut span = 0i64;
+    for d in (0..rank).rev() {
+        span += 2 * halo * stride;
+        stride *= bounded_extents[d];
+    }
+    span + 1
+}
+
+/// Row-major linear position of `index` within bounds `[lb, lb+extents)`.
+pub fn linearize(index: &[i64], lb: &[i64], extents: &[i64]) -> i64 {
+    let mut lin = 0;
+    for d in 0..index.len() {
+        lin = lin * extents[d] + (index[d] - lb[d]);
+    }
+    lin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_sizes_match_paper() {
+        // §3.3 step 3: "in 1 dimension three values are provided …, in 2
+        // dimensions nine values …, and in 3 dimensions 27 values".
+        assert_eq!(window_size(1, 1), 3);
+        assert_eq!(window_size(2, 1), 9);
+        assert_eq!(window_size(3, 1), 27);
+        assert_eq!(window_size(3, 2), 125);
+    }
+
+    #[test]
+    fn offset_mapping_is_bijective() {
+        for rank in 1..=3usize {
+            for halo in 1..=2i64 {
+                let offsets = window_offsets(rank, halo);
+                assert_eq!(offsets.len(), window_size(rank, halo));
+                for (i, o) in offsets.iter().enumerate() {
+                    assert_eq!(offset_to_window_pos(o, halo), i, "offset {o:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn centre_is_middle() {
+        assert_eq!(offset_to_window_pos(&[0], 1), 1);
+        assert_eq!(offset_to_window_pos(&[0, 0], 1), 4);
+        assert_eq!(offset_to_window_pos(&[0, 0, 0], 1), 13);
+    }
+
+    #[test]
+    fn shift_register_sizing() {
+        // 1D: window 3, stream of 1D field: 2h+1 elements.
+        assert_eq!(shift_register_len(&[66], 1), 3);
+        // 2D (ey = 66): 2 rows + 3.
+        assert_eq!(shift_register_len(&[66, 66], 1), 2 * 66 + 3);
+        // 3D: 2 planes + 2 rows + 3.
+        assert_eq!(
+            shift_register_len(&[66, 66, 34], 1),
+            2 * 66 * 34 + 2 * 34 + 3
+        );
+    }
+
+    #[test]
+    fn linearize_row_major() {
+        assert_eq!(linearize(&[0, 0], &[0, 0], &[4, 5]), 0);
+        assert_eq!(linearize(&[0, 1], &[0, 0], &[4, 5]), 1);
+        assert_eq!(linearize(&[1, 0], &[0, 0], &[4, 5]), 5);
+        assert_eq!(linearize(&[-1, -1], &[-1, -1], &[6, 7]), 0);
+    }
+}

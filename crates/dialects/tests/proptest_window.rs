@@ -1,0 +1,85 @@
+//! Property tests for the shift-buffer window geometry (§3.3, Figure 2).
+
+use proptest::prelude::*;
+use shmls_dialects::window::{
+    linearize, offset_to_window_pos, shift_register_len, window_offsets, window_size,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// offset → position → offset is the identity, positions are dense.
+    #[test]
+    fn offset_position_bijection(rank in 1usize..4, halo in 1i64..4) {
+        let offsets = window_offsets(rank, halo);
+        prop_assert_eq!(offsets.len(), window_size(rank, halo));
+        let mut seen = vec![false; offsets.len()];
+        for o in &offsets {
+            let pos = offset_to_window_pos(o, halo);
+            prop_assert!(pos < seen.len());
+            prop_assert!(!seen[pos], "position {} hit twice", pos);
+            seen[pos] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// The centre offset always maps to the middle of the window.
+    #[test]
+    fn centre_is_middle(rank in 1usize..4, halo in 1i64..4) {
+        let centre = vec![0i64; rank];
+        let pos = offset_to_window_pos(&centre, halo);
+        prop_assert_eq!(pos, window_size(rank, halo) / 2);
+    }
+
+    /// The shift register is exactly long enough: the flattened distance
+    /// between the first and last window element plus one — and holding
+    /// one fewer element would lose a needed value.
+    #[test]
+    fn register_length_is_tight(
+        extents in prop::collection::vec(4i64..40, 1..4),
+        halo in 1i64..3,
+    ) {
+        prop_assume!(extents.iter().all(|&e| e > 2 * halo));
+        let len = shift_register_len(&extents, halo);
+        let lb: Vec<i64> = vec![0; extents.len()];
+        // Pick the first interior point fully covered by the window.
+        let p: Vec<i64> = vec![halo; extents.len()];
+        let hi: Vec<i64> = p.iter().map(|&x| x + halo).collect();
+        let lo: Vec<i64> = p.iter().map(|&x| x - halo).collect();
+        let span = linearize(&hi, &lb, &extents) - linearize(&lo, &lb, &extents) + 1;
+        prop_assert_eq!(len, span, "register must exactly span the window");
+    }
+
+    /// Linearisation is row-major: the last axis is contiguous and
+    /// strictly monotone in every axis.
+    #[test]
+    fn linearize_monotone(
+        extents in prop::collection::vec(2i64..10, 1..4),
+    ) {
+        let lb: Vec<i64> = vec![0; extents.len()];
+        let mid: Vec<i64> = extents.iter().map(|&e| e / 2).collect();
+        let base = linearize(&mid, &lb, &extents);
+        for d in 0..extents.len() {
+            if mid[d] + 1 < extents[d] {
+                let mut next = mid.clone();
+                next[d] += 1;
+                let stride = linearize(&next, &lb, &extents) - base;
+                let expected: i64 = extents[d + 1..].iter().product();
+                prop_assert_eq!(stride, expected, "axis {} stride", d);
+            }
+        }
+    }
+
+    /// Growing the halo strictly grows both the window and the register.
+    #[test]
+    fn halo_growth_is_monotone(
+        extents in prop::collection::vec(10i64..30, 1..4),
+    ) {
+        for halo in 1i64..3 {
+            prop_assert!(window_size(extents.len(), halo + 1) > window_size(extents.len(), halo));
+            prop_assert!(
+                shift_register_len(&extents, halo + 1) > shift_register_len(&extents, halo)
+            );
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Concurrent execution engine: one OS thread per dataflow stage, bounded
+//! channels as FIFOs, and a watchdog that converts stalls into deadlock
+//! reports.
+//!
+//! The sequential engine ([`crate::executor`]) validates *values*; this
+//! engine validates *concurrency*: that the generated design really is a
+//! deadlock-free Kahn network under hardware-like bounded FIFOs. It is
+//! also how we reproduce the paper's StencilFlow observation — runs that
+//! "did not complete their execution under 10 minutes, a likely indicator
+//! of deadlock" — as a first-class outcome rather than a hang.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+use parking_lot::Mutex;
+use shmls_dialects::hls;
+use shmls_ir::error::{IrError, IrResult};
+use shmls_ir::interp::{ExternOps, Machine, RtValue, Store};
+use shmls_ir::prelude::*;
+use shmls_ir::{ir_bail, ir_error};
+
+use crate::executor::{dispatch_runtime_call, StreamIo};
+
+/// Outcome of a threaded run.
+#[derive(Debug)]
+pub enum ThreadedOutcome {
+    /// All stages completed; the store contains the written outputs.
+    Completed {
+        /// Final memory state (from the stage that performed the writes).
+        store: Store,
+        /// Total 512-bit beats moved.
+        mem_beats: u64,
+    },
+    /// At least one stage stalled past the watchdog — a deadlock (or an
+    /// unbalanced producer/consumer pair).
+    Deadlock {
+        /// Diagnostics from the stalled stages.
+        stalls: Vec<String>,
+    },
+}
+
+/// A channel-backed stream table shared by all stage threads.
+struct ChannelTable {
+    channels: Mutex<Vec<(Sender<RtValue>, Receiver<RtValue>)>>,
+    watchdog: Duration,
+}
+
+impl ChannelTable {
+    fn create(&self, depth: usize) -> usize {
+        let mut guard = self.channels.lock();
+        guard.push(bounded(depth.max(1)));
+        guard.len() - 1
+    }
+
+    fn endpoints(&self, handle: usize) -> IrResult<(Sender<RtValue>, Receiver<RtValue>)> {
+        self.channels
+            .lock()
+            .get(handle)
+            .cloned()
+            .ok_or_else(|| ir_error!("invalid stream handle {handle}"))
+    }
+}
+
+/// Stream transport over bounded channels with stall detection.
+struct ChannelIo {
+    table: Arc<ChannelTable>,
+}
+
+impl StreamIo for ChannelIo {
+    fn pop(&mut self, handle: usize) -> IrResult<RtValue> {
+        let (_, rx) = self.table.endpoints(handle)?;
+        match rx.recv_timeout(self.table.watchdog) {
+            Ok(v) => Ok(v),
+            Err(RecvTimeoutError::Timeout) => Err(stall_error("read", handle)),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(ir_error!("stream {handle} closed with reader pending"))
+            }
+        }
+    }
+
+    fn push(&mut self, handle: usize, value: RtValue) -> IrResult<()> {
+        let (tx, _) = self.table.endpoints(handle)?;
+        match tx.send_timeout(value, self.table.watchdog) {
+            Ok(()) => Ok(()),
+            Err(SendTimeoutError::Timeout(_)) => Err(stall_error("write", handle)),
+            Err(SendTimeoutError::Disconnected(_)) => {
+                Err(ir_error!("stream {handle} closed with writer pending"))
+            }
+        }
+    }
+}
+
+/// Marker prefix recognised when classifying stage failures as deadlock.
+const STALL_PREFIX: &str = "stalled:";
+
+fn stall_error(what: &str, handle: usize) -> IrError {
+    ir_error!("{STALL_PREFIX} blocking {what} on stream {handle} exceeded the watchdog")
+}
+
+/// Extern hook for stage threads and for the init phase.
+struct ChannelExtern {
+    io: ChannelIo,
+    mem_beats: u64,
+}
+
+impl ExternOps for ChannelExtern {
+    fn exec(
+        &mut self,
+        ctx: &Context,
+        op: OpId,
+        args: &[RtValue],
+        store: &mut Store,
+    ) -> IrResult<Option<Vec<RtValue>>> {
+        match ctx.op_name(op) {
+            hls::CREATE_STREAM => {
+                let depth = hls::stream_depth(ctx, op).max(1) as usize;
+                Ok(Some(vec![RtValue::Stream(self.io.table.create(depth))]))
+            }
+            hls::READ => Ok(Some(vec![self.io.pop(args[0].as_stream()?)?])),
+            hls::WRITE => {
+                self.io.push(args[1].as_stream()?, args[0].clone())?;
+                Ok(Some(vec![]))
+            }
+            hls::EMPTY | hls::FULL => {
+                ir_bail!("hls.empty/full are not supported by the threaded engine")
+            }
+            hls::PIPELINE | hls::UNROLL | hls::ARRAY_PARTITION | hls::INTERFACE => Ok(Some(vec![])),
+            "func.call" => {
+                let mut beats = 0u64;
+                let r = dispatch_runtime_call(&mut self.io, &mut beats, ctx, op, args, store);
+                self.mem_beats += beats;
+                r
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Execute the HLS kernel `func_name` with one thread per dataflow stage
+/// and bounded FIFOs. `setup` allocates buffers and returns the argument
+/// values; `watchdog` bounds how long any single blocking stream operation
+/// may stall before the run is declared deadlocked.
+pub fn execute_threaded(
+    ctx: &Context,
+    module: OpId,
+    func_name: &str,
+    setup: impl FnOnce(&mut Store) -> Vec<RtValue>,
+    watchdog: Duration,
+) -> IrResult<ThreadedOutcome> {
+    let table = Arc::new(ChannelTable {
+        channels: Mutex::new(Vec::new()),
+        watchdog,
+    });
+
+    // ---- init phase: run everything except dataflow regions -------------
+    let mut init_extern = ChannelExtern {
+        io: ChannelIo {
+            table: Arc::clone(&table),
+        },
+        mem_beats: 0,
+    };
+    let mut machine = Machine::new(ctx, module, &mut init_extern);
+    let func = *machine
+        .functions
+        .get(func_name)
+        .ok_or_else(|| ir_error!("unknown function `{func_name}`"))?;
+    let entry = ctx
+        .entry_block(func)
+        .ok_or_else(|| ir_error!("function `{func_name}` has no body"))?;
+    let params = ctx.block_args(entry).to_vec();
+    let args = setup(&mut machine.store);
+    for (p, a) in params.iter().zip(&args) {
+        machine.bind(*p, a.clone());
+    }
+
+    let mut stages: Vec<OpId> = Vec::new();
+    for &op in ctx.block_ops(entry) {
+        match ctx.op_name(op) {
+            hls::DATAFLOW => stages.push(op),
+            shmls_dialects::func::RETURN => break,
+            _ => {
+                machine.exec_op(op)?;
+            }
+        }
+    }
+    let env = machine.env.clone();
+    let init_store = std::mem::take(&mut machine.store);
+    drop(machine);
+    let init_beats = init_extern.mem_beats;
+
+    // Identify the stage doing external writes — its store is the result.
+    let write_stage = stages.iter().position(|&s| {
+        ctx.find_ops(s, "func.call")
+            .into_iter()
+            .any(|c| shmls_dialects::func::callee(ctx, c) == Some("write_data"))
+    });
+
+    // ---- concurrent phase ------------------------------------------------
+    let results: Vec<IrResult<(Store, u64)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &stage in &stages {
+            let env = env.clone();
+            let store = init_store.clone();
+            let table = Arc::clone(&table);
+            handles.push(scope.spawn(move || -> IrResult<(Store, u64)> {
+                let mut ext = ChannelExtern {
+                    io: ChannelIo { table },
+                    mem_beats: 0,
+                };
+                let mut m = Machine::new(ctx, module, &mut ext);
+                m.env = env;
+                m.store = store;
+                let body = ctx
+                    .entry_block(stage)
+                    .ok_or_else(|| ir_error!("dataflow stage without body"))?;
+                m.run_block(body)?;
+                let store = std::mem::take(&mut m.store);
+                drop(m);
+                Ok((store, ext.mem_beats))
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stage thread panicked"))
+            .collect()
+    });
+
+    let mut stalls = Vec::new();
+    let mut stores: Vec<Option<(Store, u64)>> = Vec::new();
+    for r in results {
+        match r {
+            Ok(pair) => stores.push(Some(pair)),
+            Err(e) => {
+                if e.to_string().contains(STALL_PREFIX) {
+                    stalls.push(e.to_string());
+                    stores.push(None);
+                } else {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    if !stalls.is_empty() {
+        return Ok(ThreadedOutcome::Deadlock { stalls });
+    }
+    let mem_beats: u64 = init_beats + stores.iter().flatten().map(|(_, b)| *b).sum::<u64>();
+    let store = match write_stage {
+        Some(i) => stores.into_iter().nth(i).flatten().map(|(s, _)| s),
+        None => None,
+    }
+    .unwrap_or(init_store);
+    Ok(ThreadedOutcome::Completed { store, mem_beats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmls_dialects::builtin::create_module;
+    use shmls_dialects::{arith, func as fdial, scf};
+    use shmls_ir::builder::OpBuilder;
+
+    /// Build a module with one function containing `n` dataflow stages
+    /// produced by `build`, for hand-made concurrency tests.
+    fn stage_module(build: impl FnOnce(&mut Context, BlockId)) -> (Context, OpId) {
+        let mut ctx = Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let (_f, entry) = fdial::create_func(&mut ctx, body, "k", vec![], vec![]);
+        build(&mut ctx, entry);
+        let mut b = OpBuilder::at_block_end(&mut ctx, entry);
+        fdial::ret(&mut b, vec![]);
+        (ctx, module)
+    }
+
+    /// Producer writes `n_produce` values; consumer reads `n_consume`.
+    fn producer_consumer(n_produce: i64, n_consume: i64, depth: i64) -> (Context, OpId) {
+        stage_module(move |ctx, entry| {
+            let mut b = OpBuilder::at_block_end(ctx, entry);
+            let s = hls::create_stream(&mut b, Type::F64, depth);
+            // Producer stage.
+            let (_df, pbody) = hls::dataflow(&mut b);
+            let mut pb = OpBuilder::at_block_end(ctx, pbody);
+            let lb = arith::constant_index(&mut pb, 0);
+            let ub = arith::constant_index(&mut pb, n_produce);
+            let st = arith::constant_index(&mut pb, 1);
+            let (_for1, l1) = scf::for_loop(&mut pb, lb, ub, st, vec![]);
+            let mut ib = OpBuilder::at_block_end(ctx, l1);
+            let v = arith::constant_f64(&mut ib, 1.5);
+            hls::write(&mut ib, v, s);
+            scf::yield_op(&mut ib, vec![]);
+            // Consumer stage.
+            let mut b = OpBuilder::at_block_end(ctx, entry);
+            let (_df2, cbody) = hls::dataflow(&mut b);
+            let mut cb = OpBuilder::at_block_end(ctx, cbody);
+            let lb = arith::constant_index(&mut cb, 0);
+            let ub = arith::constant_index(&mut cb, n_consume);
+            let st = arith::constant_index(&mut cb, 1);
+            let (_for2, l2) = scf::for_loop(&mut cb, lb, ub, st, vec![]);
+            let mut ib = OpBuilder::at_block_end(ctx, l2);
+            let _ = hls::read(&mut ib, s);
+            scf::yield_op(&mut ib, vec![]);
+        })
+    }
+
+    #[test]
+    fn balanced_pipeline_completes() {
+        let (ctx, module) = producer_consumer(1000, 1000, 2);
+        let out = execute_threaded(&ctx, module, "k", |_| vec![], Duration::from_secs(5)).unwrap();
+        assert!(matches!(out, ThreadedOutcome::Completed { .. }));
+    }
+
+    #[test]
+    fn starved_consumer_is_deadlock() {
+        // Consumer wants more than the producer sends: blocking read stalls.
+        let (ctx, module) = producer_consumer(10, 11, 2);
+        let out =
+            execute_threaded(&ctx, module, "k", |_| vec![], Duration::from_millis(200)).unwrap();
+        match out {
+            ThreadedOutcome::Deadlock { stalls } => {
+                assert!(stalls.iter().any(|s| s.contains("read")), "{stalls:?}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stage_errors_propagate_as_errors_not_deadlock() {
+        // A stage that *fails* (unknown function) must surface as an
+        // error, not be misclassified as a deadlock.
+        let (ctx, module) = stage_module(|ctx, entry| {
+            let mut b = OpBuilder::at_block_end(ctx, entry);
+            let (_df, body) = hls::dataflow(&mut b);
+            let mut ib = OpBuilder::at_block_end(ctx, body);
+            fdial::call(&mut ib, "does_not_exist", vec![], vec![]);
+        });
+        let e = execute_threaded(&ctx, module, "k", |_| vec![], Duration::from_millis(200))
+            .unwrap_err();
+        assert!(e.to_string().contains("does_not_exist"), "{e}");
+    }
+
+    #[test]
+    fn blocked_producer_is_deadlock() {
+        // Producer sends more than the consumer drains: bounded FIFO fills,
+        // the blocking write stalls — the StencilFlow failure mode.
+        let (ctx, module) = producer_consumer(100, 10, 2);
+        let out =
+            execute_threaded(&ctx, module, "k", |_| vec![], Duration::from_millis(200)).unwrap();
+        match out {
+            ThreadedOutcome::Deadlock { stalls } => {
+                assert!(stalls.iter().any(|s| s.contains("write")), "{stalls:?}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # shmls-frontend — the stencil kernel DSL
+//!
+//! The PSyclone-equivalent of this reproduction: a small domain-specific
+//! language for multi-field 3D stencil kernels that lowers to the stencil
+//! dialect, from which Stencil-HMLS (and the CPU reference path) take over.
+//!
+//! Two entry points:
+//!
+//! - **Text syntax** — [`parser::parse_kernel`] parses the `kernel { … }`
+//!   format (see [`ast`] for the grammar by example).
+//! - **Builder API** — [`ast::build`] constructs the same AST
+//!   programmatically.
+//!
+//! Either way, [`lower::lower_kernel`] emits a `func.func` whose body is
+//! stencil-dialect IR, plus a [`lower::KernelSignature`] describing how to
+//! bind runtime buffers to the generated function's arguments.
+//!
+//! ```
+//! let kernel = shmls_frontend::parse_kernel(
+//!     "kernel k { grid(4) halo 1 field a : input field b : output \
+//!      compute b { b = a[-1] + a[1] } }",
+//! )
+//! .unwrap();
+//! assert_eq!(kernel.rank(), 1);
+//! assert_eq!(kernel.points(), 4);
+//! // And it round-trips through the pretty-printer.
+//! let text = shmls_frontend::kernel_to_source(&kernel);
+//! assert_eq!(shmls_frontend::parse_kernel(&text).unwrap(), kernel);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lower;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{ComputeDef, ConstDecl, Expr, FieldDecl, FieldKind, Intrinsic, KernelDef, ParamDecl};
+pub use lower::{lower_kernel, KernelArg, KernelSignature, LoweredKernel};
+pub use parser::parse_kernel;
+pub use printer::{expr_to_source, kernel_to_source};

@@ -1,0 +1,559 @@
+//! Text syntax for the kernel DSL: lexer and recursive-descent parser.
+
+use shmls_ir::error::{IrError, IrResult};
+use shmls_ir::{ir_bail, ir_ensure};
+
+use crate::ast::{
+    BinOp, ComputeDef, ConstDecl, Expr, FieldDecl, FieldKind, Intrinsic, KernelDef, ParamDecl,
+};
+
+/// Parse one kernel definition from DSL text and validate it.
+pub fn parse_kernel(src: &str) -> IrResult<KernelDef> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let k = p.kernel()?;
+    p.expect_eof()?;
+    k.validate()?;
+    Ok(k)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Int(i64),
+    Punct(char),
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Num(v) => write!(f, "`{v}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Punct(c) => write!(f, "`{c}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(src: &str) -> IrResult<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                let tok = if is_float {
+                    Tok::Num(text.parse().map_err(|e| {
+                        IrError::new(format!("line {line}: bad number `{text}`: {e}"))
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|e| {
+                        IrError::new(format!("line {line}: bad integer `{text}`: {e}"))
+                    })?)
+                };
+                out.push(Spanned { tok, line });
+            }
+            b'{' | b'}' | b'(' | b')' | b'[' | b']' | b',' | b':' | b'=' | b'+' | b'-' | b'*'
+            | b'/' => {
+                out.push(Spanned {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+            other => {
+                ir_bail!("line {line}: unexpected character `{}`", other as char);
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> IrResult<()> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Punct(p) if p == c => Ok(()),
+            other => Err(IrError::new(format!(
+                "line {line}: expected `{c}`, found {other}"
+            ))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> IrResult<String> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(IrError::new(format!(
+                "line {line}: expected identifier, found {other}"
+            ))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> IrResult<()> {
+        let line = self.line();
+        let id = self.expect_ident()?;
+        ir_ensure!(id == kw, "line {line}: expected `{kw}`, found `{id}`");
+        Ok(())
+    }
+
+    fn expect_int(&mut self) -> IrResult<i64> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(v),
+            Tok::Punct('-') => match self.bump() {
+                Tok::Int(v) => Ok(-v),
+                other => Err(IrError::new(format!(
+                    "line {line}: expected integer, found {other}"
+                ))),
+            },
+            other => Err(IrError::new(format!(
+                "line {line}: expected integer, found {other}"
+            ))),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Tok::Punct(p) if *p == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_eof(&mut self) -> IrResult<()> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Eof => Ok(()),
+            other => Err(IrError::new(format!(
+                "line {line}: trailing input: {other}"
+            ))),
+        }
+    }
+
+    fn kernel(&mut self) -> IrResult<KernelDef> {
+        self.expect_keyword("kernel")?;
+        let name = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let mut k = KernelDef {
+            name,
+            grid: Vec::new(),
+            halo: 0,
+            fields: Vec::new(),
+            params: Vec::new(),
+            consts: Vec::new(),
+            computes: Vec::new(),
+        };
+        loop {
+            if self.eat_punct('}') {
+                break;
+            }
+            let line = self.line();
+            let item = self.expect_ident()?;
+            match item.as_str() {
+                "grid" => {
+                    self.expect_punct('(')?;
+                    loop {
+                        k.grid.push(self.expect_int()?);
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                    self.expect_punct(')')?;
+                }
+                "halo" => {
+                    k.halo = self.expect_int()?;
+                }
+                "field" => {
+                    let fname = self.expect_ident()?;
+                    self.expect_punct(':')?;
+                    let kline = self.line();
+                    let kind = match self.expect_ident()?.as_str() {
+                        "input" => FieldKind::Input,
+                        "output" => FieldKind::Output,
+                        "inout" => FieldKind::InOut,
+                        "temp" => FieldKind::Temp,
+                        other => {
+                            ir_bail!("line {kline}: unknown field kind `{other}`");
+                        }
+                    };
+                    k.fields.push(FieldDecl { name: fname, kind });
+                }
+                "param" => {
+                    let pname = self.expect_ident()?;
+                    self.expect_punct('[')?;
+                    let aline = self.line();
+                    let axis_name = self.expect_ident()?;
+                    let axis = axis_index(&axis_name).ok_or_else(|| {
+                        IrError::new(format!("line {aline}: unknown axis `{axis_name}`"))
+                    })?;
+                    self.expect_punct(']')?;
+                    k.params.push(ParamDecl { name: pname, axis });
+                }
+                "const" => {
+                    let cname = self.expect_ident()?;
+                    k.consts.push(ConstDecl { name: cname });
+                }
+                "compute" => {
+                    let target = self.expect_ident()?;
+                    self.expect_punct('{')?;
+                    let lhs_line = self.line();
+                    let lhs = self.expect_ident()?;
+                    ir_ensure!(
+                        lhs == target,
+                        "line {lhs_line}: compute `{target}` assigns `{lhs}`"
+                    );
+                    self.expect_punct('=')?;
+                    let expr = self.expr()?;
+                    self.expect_punct('}')?;
+                    k.computes.push(ComputeDef { target, expr });
+                }
+                other => {
+                    ir_bail!("line {line}: unknown kernel item `{other}`");
+                }
+            }
+        }
+        Ok(k)
+    }
+
+    // expr := term (('+'|'-') term)*
+    fn expr(&mut self) -> IrResult<Expr> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = if self.eat_punct('+') {
+                BinOp::Add
+            } else if self.eat_punct('-') {
+                BinOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.term()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    // term := unary (('*'|'/') unary)*
+    fn term(&mut self) -> IrResult<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.eat_punct('*') {
+                BinOp::Mul
+            } else if self.eat_punct('/') {
+                BinOp::Div
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.unary()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn unary(&mut self) -> IrResult<Expr> {
+        if self.eat_punct('-') {
+            Ok(Expr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> IrResult<Expr> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Num(v) => Ok(Expr::Num(v)),
+            Tok::Int(v) => Ok(Expr::Num(v as f64)),
+            Tok::Punct('(') => {
+                let e = self.expr()?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat_punct('(') {
+                    let f = Intrinsic::from_name(&name).ok_or_else(|| {
+                        IrError::new(format!("line {line}: unknown function `{name}`"))
+                    })?;
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Tok::Punct(')')) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(',') {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_punct(')')?;
+                    return Ok(Expr::Call { f, args });
+                }
+                if self.eat_punct('[') {
+                    // Param access `p[k]`/`p[k+1]`/`p[k-1]` or field access
+                    // `f[-1, 0, 1]` — disambiguated by the first token.
+                    if let Tok::Ident(axis_name) = self.peek().clone() {
+                        let aline = self.line();
+                        self.bump();
+                        let _axis = axis_index(&axis_name).ok_or_else(|| {
+                            IrError::new(format!("line {aline}: unknown axis `{axis_name}`"))
+                        })?;
+                        let offset = if self.eat_punct('+') {
+                            self.expect_int()?
+                        } else if self.eat_punct('-') {
+                            -self.expect_int()?
+                        } else {
+                            0
+                        };
+                        self.expect_punct(']')?;
+                        return Ok(Expr::ParamRef { name, offset });
+                    }
+                    let mut offsets = Vec::new();
+                    loop {
+                        offsets.push(self.expect_int()?);
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                    self.expect_punct(']')?;
+                    return Ok(Expr::FieldRef { name, offsets });
+                }
+                Ok(Expr::ConstRef(name))
+            }
+            other => Err(IrError::new(format!(
+                "line {line}: unexpected token {other}"
+            ))),
+        }
+    }
+}
+
+/// Map an axis name to its dimension index.
+pub fn axis_index(name: &str) -> Option<usize> {
+    match name {
+        "i" | "x" => Some(0),
+        "j" | "y" => Some(1),
+        "k" | "z" => Some(2),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build;
+
+    const LAPLACE: &str = r#"
+// 2D 5-point Laplace smoother.
+kernel laplace {
+  grid(16, 16)
+  halo 1
+  field a : input
+  field b : output
+  const w
+  compute b {
+    b = w * (a[-1,0] + a[1,0] + a[0,-1] + a[0,1] - 4.0 * a[0,0])
+  }
+}
+"#;
+
+    #[test]
+    fn laplace_parses() {
+        let k = parse_kernel(LAPLACE).unwrap();
+        assert_eq!(k.name, "laplace");
+        assert_eq!(k.grid, vec![16, 16]);
+        assert_eq!(k.halo, 1);
+        assert_eq!(k.fields.len(), 2);
+        assert_eq!(k.consts.len(), 1);
+        assert_eq!(k.computes.len(), 1);
+    }
+
+    #[test]
+    fn precedence() {
+        let src = r#"
+kernel p {
+  grid(4)
+  halo 0
+  field a : input
+  field b : output
+  compute b { b = 1.0 + 2.0 * 3.0 - a[0] }
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        // (1 + (2*3)) - a[0]
+        let expected = build::sub(
+            build::add(
+                build::num(1.0),
+                build::mul(build::num(2.0), build::num(3.0)),
+            ),
+            build::field("a", &[0]),
+        );
+        assert_eq!(k.computes[0].expr, expected);
+    }
+
+    #[test]
+    fn param_and_intrinsics() {
+        let src = r#"
+kernel p {
+  grid(4, 4, 8)
+  halo 1
+  field a : input
+  field b : output
+  param tz[k]
+  compute b { b = max(tz[k+1], abs(a[0,0,-1])) }
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        assert_eq!(k.params[0].axis, 2);
+        match &k.computes[0].expr {
+            Expr::Call {
+                f: Intrinsic::Max,
+                args,
+            } => {
+                assert_eq!(args[0], build::param("tz", 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_binds_tightly() {
+        let src = r#"
+kernel p {
+  grid(4)
+  halo 0
+  field a : input
+  field b : output
+  compute b { b = -a[0] * 2.0 }
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        let expected = build::mul(build::neg(build::field("a", &[0])), build::num(2.0));
+        assert_eq!(k.computes[0].expr, expected);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "kernel p {\n  grid(4)\n  wibble 3\n}";
+        let e = parse_kernel(src).unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+        assert!(e.to_string().contains("wibble"), "{e}");
+    }
+
+    #[test]
+    fn semantic_errors_surface() {
+        // Parses fine, fails validation (access beyond halo).
+        let src = r#"
+kernel p {
+  grid(4)
+  halo 0
+  field a : input
+  field b : output
+  compute b { b = a[1] }
+}
+"#;
+        let e = parse_kernel(src).unwrap_err();
+        assert!(e.to_string().contains("exceeds halo"), "{e}");
+    }
+
+    #[test]
+    fn compute_target_must_match_lhs() {
+        let src = r#"
+kernel p {
+  grid(4)
+  halo 0
+  field a : input
+  field b : output
+  compute b { a = 1.0 }
+}
+"#;
+        let e = parse_kernel(src).unwrap_err();
+        assert!(e.to_string().contains("assigns"), "{e}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Pretty-printer: [`KernelDef`] back to DSL source text.
+//!
+//! Together with [`crate::parser::parse_kernel`] this gives the DSL a
+//! round-trip property (tested in `tests/proptest_dsl.rs`), and lets tools
+//! persist programmatically-built kernels in the human-readable format.
+
+use std::fmt::Write;
+
+use crate::ast::{BinOp, Expr, Intrinsic, KernelDef};
+
+/// Render a kernel as DSL source text that re-parses to the same AST.
+pub fn kernel_to_source(k: &KernelDef) -> String {
+    let mut out = String::new();
+    writeln!(out, "kernel {} {{", k.name).unwrap();
+    let dims: Vec<String> = k.grid.iter().map(i64::to_string).collect();
+    writeln!(out, "  grid({})", dims.join(", ")).unwrap();
+    writeln!(out, "  halo {}", k.halo).unwrap();
+    for f in &k.fields {
+        writeln!(out, "  field {} : {}", f.name, f.kind).unwrap();
+    }
+    for p in &k.params {
+        writeln!(out, "  param {}[{}]", p.name, axis_name(p.axis)).unwrap();
+    }
+    for c in &k.consts {
+        writeln!(out, "  const {}", c.name).unwrap();
+    }
+    for c in &k.computes {
+        writeln!(
+            out,
+            "  compute {} {{ {} = {} }}",
+            c.target,
+            c.target,
+            expr_to_source(&c.expr)
+        )
+        .unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+fn axis_name(axis: usize) -> &'static str {
+    match axis {
+        0 => "i",
+        1 => "j",
+        _ => "k",
+    }
+}
+
+/// Operator precedence for minimal parenthesisation.
+fn precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::Bin {
+            op: BinOp::Add | BinOp::Sub,
+            ..
+        } => 1,
+        Expr::Bin {
+            op: BinOp::Mul | BinOp::Div,
+            ..
+        } => 2,
+        Expr::Neg(_) => 3,
+        _ => 4,
+    }
+}
+
+/// Render an expression in DSL syntax.
+pub fn expr_to_source(e: &Expr) -> String {
+    match e {
+        Expr::Num(v) => {
+            // Always float-looking so the parser keeps it a literal.
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::ConstRef(name) => name.clone(),
+        Expr::FieldRef { name, offsets } => {
+            let o: Vec<String> = offsets.iter().map(i64::to_string).collect();
+            format!("{name}[{}]", o.join(","))
+        }
+        Expr::ParamRef { name, offset } => {
+            // The frontend only supports axis-indexed params; the axis
+            // letter is irrelevant to the AST (it is fixed per param), so
+            // `k` is used generically and re-resolves on parse.
+            match offset.cmp(&0) {
+                std::cmp::Ordering::Equal => format!("{name}[k]"),
+                std::cmp::Ordering::Greater => format!("{name}[k+{offset}]"),
+                std::cmp::Ordering::Less => format!("{name}[k-{}]", -offset),
+            }
+        }
+        Expr::Neg(inner) => {
+            let body = expr_to_source(inner);
+            if precedence(inner) < 3 {
+                format!("-({body})")
+            } else {
+                format!("-{body}")
+            }
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            let my_prec = precedence(e);
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+            };
+            let l = wrap(lhs, precedence(lhs) < my_prec);
+            // The grammar is left-associative: a right child at the same
+            // precedence level needs parentheses to keep the tree shape
+            // (both for non-associative `-`/`/` semantics and for exact
+            // AST round-tripping of `+`/`*`).
+            let r = wrap(
+                rhs,
+                precedence(rhs) <= my_prec && matches!(rhs.as_ref(), Expr::Bin { .. }),
+            );
+            format!("{l} {sym} {r}")
+        }
+        Expr::Call { f, args } => {
+            let name = match f {
+                Intrinsic::Abs => "abs",
+                Intrinsic::Min => "min",
+                Intrinsic::Max => "max",
+                Intrinsic::Sign => "sign",
+                Intrinsic::Sqrt => "sqrt",
+            };
+            let rendered: Vec<String> = args.iter().map(expr_to_source).collect();
+            format!("{name}({})", rendered.join(", "))
+        }
+    }
+}
+
+fn wrap(e: &Expr, needs: bool) -> String {
+    let body = expr_to_source(e);
+    if needs {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+    use crate::parser::parse_kernel;
+
+    #[test]
+    fn simple_kernel_round_trips() {
+        let src = r#"
+kernel k {
+  grid(8, 8)
+  halo 1
+  field a : input
+  field b : output
+  param tz[j]
+  const w
+  compute b { b = w * (a[-1,0] + a[1,0]) - tz[j+1] * 2.0 }
+}
+"#;
+        let k = parse_kernel(src).unwrap();
+        let printed = kernel_to_source(&k);
+        let reparsed = parse_kernel(&printed).unwrap();
+        assert_eq!(k, reparsed, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn subtraction_associativity_preserved() {
+        // (a - b) - c  vs  a - (b - c) must print differently.
+        let a = || num(1.0);
+        let left = sub(sub(a(), num(2.0)), num(3.0));
+        let right = sub(a(), sub(num(2.0), num(3.0)));
+        assert_ne!(expr_to_source(&left), expr_to_source(&right));
+        assert_eq!(expr_to_source(&left), "1.0 - 2.0 - 3.0");
+        assert_eq!(expr_to_source(&right), "1.0 - (2.0 - 3.0)");
+    }
+
+    #[test]
+    fn negation_parenthesised() {
+        let e = mul(neg(add(num(1.0), num(2.0))), num(3.0));
+        assert_eq!(expr_to_source(&e), "-(1.0 + 2.0) * 3.0");
+    }
+
+    #[test]
+    fn whole_numbers_stay_floats() {
+        assert_eq!(expr_to_source(&num(4.0)), "4.0");
+        assert_eq!(expr_to_source(&num(0.25)), "0.25");
+    }
+}

@@ -1,0 +1,114 @@
+//! Negative-path coverage for the DSL parser and semantic checks: every
+//! rejection must carry an actionable message.
+
+use shmls_frontend::parse_kernel;
+
+fn err(src: &str) -> String {
+    parse_kernel(src).unwrap_err().to_string()
+}
+
+#[test]
+fn missing_kernel_keyword() {
+    assert!(err("module x {}").contains("expected `kernel`"));
+}
+
+#[test]
+fn unterminated_block() {
+    let e = err("kernel k {\n  grid(4)\n  halo 0\n");
+    assert!(e.contains("end of input") || e.contains("expected"), "{e}");
+}
+
+#[test]
+fn unknown_item() {
+    assert!(err("kernel k {\n  gird(4)\n}").contains("unknown kernel item"));
+}
+
+#[test]
+fn unknown_field_kind() {
+    let e = err("kernel k {\n  grid(4)\n  field a : inputt\n}");
+    assert!(e.contains("unknown field kind"), "{e}");
+}
+
+#[test]
+fn unknown_axis() {
+    let e = err("kernel k {\n  grid(4)\n  param p[w]\n}");
+    assert!(e.contains("unknown axis"), "{e}");
+}
+
+#[test]
+fn unknown_function() {
+    let e = err(
+        "kernel k {\n  grid(4)\n  halo 0\n  field a : input\n  field b : output\n  compute b { b = exp(a[0]) }\n}",
+    );
+    assert!(e.contains("unknown function `exp`"), "{e}");
+}
+
+#[test]
+fn bad_character() {
+    assert!(err("kernel k { grid(4) @ }").contains("unexpected character"));
+}
+
+#[test]
+fn rank_zero_grid() {
+    let e = err(
+        "kernel k {\n  grid()\n  field a : input\n  field b : output\n  compute b { b = a[] }\n}",
+    );
+    assert!(e.contains("expected integer") || e.contains("rank"), "{e}");
+}
+
+#[test]
+fn rank_four_rejected() {
+    let e = err(
+        "kernel k {\n  grid(2, 2, 2, 2)\n  halo 0\n  field a : input\n  field b : output\n  compute b { b = a[0,0,0,0] }\n}",
+    );
+    assert!(e.contains("rank must be 1–3"), "{e}");
+}
+
+#[test]
+fn zero_extent_rejected() {
+    let e = err(
+        "kernel k {\n  grid(0)\n  halo 0\n  field a : input\n  field b : output\n  compute b { b = a[0] }\n}",
+    );
+    assert!(e.contains("extents must be positive"), "{e}");
+}
+
+#[test]
+fn negative_halo_rejected() {
+    let e = err(
+        "kernel k {\n  grid(4)\n  halo -1\n  field a : input\n  field b : output\n  compute b { b = a[0] }\n}",
+    );
+    assert!(e.contains("halo must be non-negative"), "{e}");
+}
+
+#[test]
+fn unknown_constant_in_expression() {
+    let e = err(
+        "kernel k {\n  grid(4)\n  halo 0\n  field a : input\n  field b : output\n  compute b { b = missing * a[0] }\n}",
+    );
+    assert!(e.contains("unknown constant `missing`"), "{e}");
+}
+
+#[test]
+fn unknown_compute_target() {
+    let e = err("kernel k {\n  grid(4)\n  halo 0\n  field a : input\n  compute z { z = a[0] }\n}");
+    assert!(
+        e.contains("unknown field `z`") || e.contains("targets unknown field"),
+        "{e}"
+    );
+}
+
+#[test]
+fn param_axis_beyond_rank() {
+    let e = err(
+        "kernel k {\n  grid(4)\n  halo 0\n  field a : input\n  field b : output\n  param p[k]\n  compute b { b = a[0] + p[k] }\n}",
+    );
+    assert!(e.contains("spans axis"), "{e}");
+}
+
+#[test]
+fn trailing_tokens_rejected() {
+    let e = err(
+        "kernel k {\n  grid(4)\n  halo 0\n  field a : input\n  field b : output\n  compute b { b = a[0] }\n} extra",
+    );
+    assert!(e.contains("trailing input"), "{e}");
+}

@@ -1,0 +1,164 @@
+//! Property test: the DSL printer/parser round-trip on randomly generated
+//! kernels — `parse(print(k))` is `k` up to literal-sign normalisation
+//! (the parser represents `-3.0` as `Neg(Num(3.0))`).
+
+use proptest::prelude::*;
+use shmls_frontend::ast::build;
+use shmls_frontend::{
+    kernel_to_source, parse_kernel, ComputeDef, ConstDecl, Expr, FieldDecl, FieldKind, Intrinsic,
+    KernelDef, ParamDecl,
+};
+
+fn arb_expr(
+    n_inputs: usize,
+    rank: usize,
+    has_param: bool,
+    has_const: bool,
+) -> impl Strategy<Value = Expr> {
+    let leaf = {
+        let mut options: Vec<BoxedStrategy<Expr>> = vec![
+            (0i32..120).prop_map(|v| build::num(v as f64 / 4.0)).boxed(),
+            (0..n_inputs, 0..rank, -1i64..2)
+                .prop_map(move |(f, axis, off)| {
+                    let mut offsets = vec![0i64; rank];
+                    offsets[axis] = off;
+                    build::field(&format!("in{f}"), &offsets)
+                })
+                .boxed(),
+        ];
+        if has_param {
+            options.push((-1i64..2).prop_map(|o| build::param("coef", o)).boxed());
+        }
+        if has_const {
+            options.push(Just(build::cst("alpha")).boxed());
+        }
+        prop::strategy::Union::new(options)
+    };
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (0u8..4, inner.clone(), inner.clone()).prop_map(|(op, l, r)| match op {
+                0 => build::add(l, r),
+                1 => build::sub(l, r),
+                2 => build::mul(l, r),
+                _ => build::div(l, r),
+            }),
+            inner.clone().prop_map(build::neg),
+            inner
+                .clone()
+                .prop_map(|a| build::call(Intrinsic::Abs, vec![a])),
+            inner
+                .clone()
+                .prop_map(|a| build::call(Intrinsic::Sqrt, vec![a])),
+            (0u8..3, inner.clone(), inner).prop_map(|(f, l, r)| {
+                let intr = match f {
+                    0 => Intrinsic::Min,
+                    1 => Intrinsic::Max,
+                    _ => Intrinsic::Sign,
+                };
+                build::call(intr, vec![l, r])
+            }),
+        ]
+    })
+}
+
+fn arb_kernel() -> impl Strategy<Value = KernelDef> {
+    (1usize..4, 1usize..3, any::<bool>(), any::<bool>()).prop_flat_map(
+        |(rank, n_inputs, has_param, has_const)| {
+            (
+                prop::collection::vec(3i64..8, rank),
+                prop::collection::vec(arb_expr(n_inputs, rank, has_param, has_const), 1..4),
+            )
+                .prop_map(move |(grid, exprs)| {
+                    let mut fields: Vec<FieldDecl> = (0..n_inputs)
+                        .map(|i| FieldDecl {
+                            name: format!("in{i}"),
+                            kind: FieldKind::Input,
+                        })
+                        .collect();
+                    for (o, _) in exprs.iter().enumerate() {
+                        fields.push(FieldDecl {
+                            name: format!("out{o}"),
+                            kind: FieldKind::Output,
+                        });
+                    }
+                    let computes = exprs
+                        .iter()
+                        .enumerate()
+                        .map(|(o, e)| ComputeDef {
+                            target: format!("out{o}"),
+                            expr: e.clone(),
+                        })
+                        .collect();
+                    KernelDef {
+                        name: "roundtrip".into(),
+                        grid,
+                        halo: 1,
+                        fields,
+                        params: if has_param {
+                            vec![ParamDecl {
+                                name: "coef".into(),
+                                axis: rank - 1,
+                            }]
+                        } else {
+                            vec![]
+                        },
+                        consts: if has_const {
+                            vec![ConstDecl {
+                                name: "alpha".into(),
+                            }]
+                        } else {
+                            vec![]
+                        },
+                        computes,
+                    }
+                })
+        },
+    )
+}
+
+/// `-3.0` parses as `Neg(Num(3.0))`; normalise both sides for comparison.
+fn normalize(e: &Expr) -> Expr {
+    match e {
+        Expr::Neg(inner) => match normalize(inner) {
+            Expr::Num(v) => Expr::Num(-v),
+            other => build::neg(other),
+        },
+        Expr::Bin { op, lhs, rhs } => Expr::Bin {
+            op: *op,
+            lhs: Box::new(normalize(lhs)),
+            rhs: Box::new(normalize(rhs)),
+        },
+        Expr::Call { f, args } => Expr::Call {
+            f: *f,
+            args: args.iter().map(normalize).collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn normalize_kernel(k: &KernelDef) -> KernelDef {
+    let mut k = k.clone();
+    for c in &mut k.computes {
+        c.expr = normalize(&c.expr);
+    }
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dsl_round_trip(kernel in arb_kernel()) {
+        prop_assume!(kernel.validate().is_ok());
+        let source = kernel_to_source(&kernel);
+        let reparsed = parse_kernel(&source)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{source}"));
+        prop_assert_eq!(
+            normalize_kernel(&reparsed),
+            normalize_kernel(&kernel),
+            "source:\n{}", source
+        );
+        // And printing again is a fixpoint.
+        prop_assert_eq!(kernel_to_source(&reparsed), source);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types shared across the IR infrastructure.
+
+use std::fmt;
+
+/// An error produced by IR construction, verification, parsing, rewriting or
+/// interpretation.
+///
+/// The IR layer deliberately uses a single string-carrying error type: errors
+/// here are programmer- or input-facing diagnostics, not values that callers
+/// dispatch on. Pass pipelines wrap these with pass names, the parser wraps
+/// them with line/column information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrError {
+    message: String,
+}
+
+impl IrError {
+    /// Create a new error with the given diagnostic message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The diagnostic message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Wrap this error with additional leading context.
+    #[must_use]
+    pub fn context(self, ctx: impl fmt::Display) -> Self {
+        Self {
+            message: format!("{ctx}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Convenience alias used throughout the workspace.
+pub type IrResult<T> = Result<T, IrError>;
+
+/// Construct an [`IrError`] with `format!` semantics.
+#[macro_export]
+macro_rules! ir_error {
+    ($($arg:tt)*) => {
+        $crate::error::IrError::new(format!($($arg)*))
+    };
+}
+
+/// Early-return an [`IrError`] built with `format!` semantics.
+#[macro_export]
+macro_rules! ir_bail {
+    ($($arg:tt)*) => {
+        return Err($crate::ir_error!($($arg)*))
+    };
+}
+
+/// Assert a condition, early-returning an [`IrError`] when it fails.
+#[macro_export]
+macro_rules! ir_ensure {
+    ($cond:expr, $($arg:tt)*) => {
+        if !$cond {
+            $crate::ir_bail!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_message() {
+        let e = IrError::new("bad op");
+        assert_eq!(e.to_string(), "bad op");
+        assert_eq!(e.message(), "bad op");
+    }
+
+    #[test]
+    fn context_prepends() {
+        let e = IrError::new("bad op").context("verifying func.func");
+        assert_eq!(e.to_string(), "verifying func.func: bad op");
+    }
+
+    #[test]
+    fn macros_format() {
+        let e: IrError = ir_error!("op {} has {} results", "arith.addf", 2);
+        assert_eq!(e.to_string(), "op arith.addf has 2 results");
+        fn f(x: i32) -> IrResult<i32> {
+            ir_ensure!(x > 0, "x must be positive, got {x}");
+            Ok(x)
+        }
+        assert!(f(1).is_ok());
+        assert_eq!(f(-1).unwrap_err().to_string(), "x must be positive, got -1");
+    }
+}

@@ -1,0 +1,1125 @@
+//! Reference interpreter for the structured-control-flow subset of the IR.
+//!
+//! The interpreter executes `builtin` / `func` / `arith` / `math` / `scf` /
+//! `memref` and the `stencil` dialect directly. Ops it does not know
+//! (notably the `hls` dialect and the runtime functions `load_data` /
+//! `shift_buffer` / `write_data`) are forwarded to a pluggable
+//! [`ExternOps`] hook — the pure interpreter rejects them, the FPGA
+//! simulator implements them with FIFO/stream semantics.
+//!
+//! Determinism note: `hls.dataflow` regions form a Kahn process network
+//! (blocking reads, no peeking), so executing the stages *sequentially in
+//! program order with unbounded FIFOs* yields the same values as any
+//! concurrent schedule. The interpreter exploits this for functional
+//! validation; the threaded engine in `shmls-fpga-sim` validates the
+//! concurrent behaviour (including deadlock detection).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::attributes::Attribute;
+use crate::error::IrResult;
+use crate::ir::{BlockId, Context, OpId, ValueId};
+use crate::types::Type;
+use crate::{ir_bail, ir_ensure, ir_error};
+
+/// A runtime scalar, aggregate, or handle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtValue {
+    /// Integer (also used for `index` and `i32`).
+    I64(i64),
+    /// Float (also used for `f32`).
+    F64(f64),
+    /// Boolean (`i1`).
+    Bool(bool),
+    /// Handle into the [`Store`]'s buffer table.
+    MemRef(usize),
+    /// Handle into an extern-managed stream table.
+    Stream(usize),
+    /// A packed aggregate of floats — used for 512-bit memory beats and for
+    /// shift-buffer windows (all stencil neighbour values in one element).
+    /// `Arc` keeps stream elements cheap to duplicate across dataflow
+    /// stages and `Send` for the threaded engine.
+    Pack(std::sync::Arc<Vec<f64>>),
+    /// No value.
+    Unit,
+}
+
+impl RtValue {
+    /// Integer content or error.
+    pub fn as_i64(&self) -> IrResult<i64> {
+        match self {
+            RtValue::I64(v) => Ok(*v),
+            RtValue::Bool(b) => Ok(*b as i64),
+            _ => Err(ir_error!("expected integer runtime value, got {self:?}")),
+        }
+    }
+
+    /// Float content or error.
+    pub fn as_f64(&self) -> IrResult<f64> {
+        match self {
+            RtValue::F64(v) => Ok(*v),
+            _ => Err(ir_error!("expected float runtime value, got {self:?}")),
+        }
+    }
+
+    /// Bool content or error.
+    pub fn as_bool(&self) -> IrResult<bool> {
+        match self {
+            RtValue::Bool(v) => Ok(*v),
+            RtValue::I64(v) => Ok(*v != 0),
+            _ => Err(ir_error!("expected bool runtime value, got {self:?}")),
+        }
+    }
+
+    /// MemRef handle or error.
+    pub fn as_memref(&self) -> IrResult<usize> {
+        match self {
+            RtValue::MemRef(h) => Ok(*h),
+            _ => Err(ir_error!("expected memref runtime value, got {self:?}")),
+        }
+    }
+
+    /// Stream handle or error.
+    pub fn as_stream(&self) -> IrResult<usize> {
+        match self {
+            RtValue::Stream(h) => Ok(*h),
+            _ => Err(ir_error!("expected stream runtime value, got {self:?}")),
+        }
+    }
+
+    /// Packed aggregate content or error.
+    pub fn as_pack(&self) -> IrResult<&[f64]> {
+        match self {
+            RtValue::Pack(p) => Ok(p),
+            _ => Err(ir_error!("expected packed runtime value, got {self:?}")),
+        }
+    }
+
+    /// Wrap a float vector as a packed aggregate.
+    pub fn pack(values: Vec<f64>) -> RtValue {
+        RtValue::Pack(std::sync::Arc::new(values))
+    }
+}
+
+/// A dense row-major buffer backing a `memref` or stencil field/temp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buffer {
+    /// Logical shape. For stencil fields this is the *bounded* shape
+    /// including halo; `origin` maps logical indices to storage offsets.
+    pub shape: Vec<i64>,
+    /// Logical index of the first stored element per dimension (the lower
+    /// bound of stencil bounds; all-zero for plain memrefs).
+    pub origin: Vec<i64>,
+    /// Element storage.
+    pub data: Vec<f64>,
+}
+
+impl Buffer {
+    /// A zero-filled buffer of the given logical shape and origin.
+    pub fn zeroed(shape: Vec<i64>, origin: Vec<i64>) -> Self {
+        let n: i64 = shape.iter().product();
+        Self {
+            data: vec![0.0; n.max(0) as usize],
+            shape,
+            origin,
+        }
+    }
+
+    /// Row-major linear offset of a logical index.
+    pub fn offset(&self, index: &[i64]) -> IrResult<usize> {
+        ir_ensure!(
+            index.len() == self.shape.len(),
+            "rank mismatch: index {index:?} vs shape {:?}",
+            self.shape
+        );
+        let mut off: i64 = 0;
+        for (d, &i) in index.iter().enumerate() {
+            let local = i - self.origin[d];
+            ir_ensure!(
+                local >= 0 && local < self.shape[d],
+                "index {index:?} out of bounds (shape {:?}, origin {:?}, dim {d})",
+                self.shape,
+                self.origin
+            );
+            off = off * self.shape[d] + local;
+        }
+        Ok(off as usize)
+    }
+
+    /// Read the element at a logical index.
+    pub fn load(&self, index: &[i64]) -> IrResult<f64> {
+        Ok(self.data[self.offset(index)?])
+    }
+
+    /// Write the element at a logical index.
+    pub fn store(&mut self, index: &[i64], value: f64) -> IrResult<()> {
+        let off = self.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+}
+
+/// The interpreter's memory: a table of buffers addressed by handle.
+#[derive(Debug, Default, Clone)]
+pub struct Store {
+    buffers: Vec<Buffer>,
+}
+
+impl Store {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a buffer, returning its handle.
+    pub fn alloc(&mut self, buffer: Buffer) -> usize {
+        self.buffers.push(buffer);
+        self.buffers.len() - 1
+    }
+
+    /// Borrow a buffer.
+    pub fn get(&self, handle: usize) -> IrResult<&Buffer> {
+        self.buffers
+            .get(handle)
+            .ok_or_else(|| ir_error!("invalid buffer handle {handle}"))
+    }
+
+    /// Borrow a buffer mutably.
+    pub fn get_mut(&mut self, handle: usize) -> IrResult<&mut Buffer> {
+        self.buffers
+            .get_mut(handle)
+            .ok_or_else(|| ir_error!("invalid buffer handle {handle}"))
+    }
+
+    /// Number of buffers allocated.
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// True when no buffer has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+}
+
+/// Hook for ops the core interpreter does not implement.
+pub trait ExternOps {
+    /// Execute `op` (with evaluated operands), returning its result values,
+    /// or `Ok(None)` to signal the op is not handled here either.
+    fn exec(
+        &mut self,
+        ctx: &Context,
+        op: OpId,
+        args: &[RtValue],
+        store: &mut Store,
+    ) -> IrResult<Option<Vec<RtValue>>>;
+}
+
+/// Extern hook that handles nothing — for interpreting pure core-dialect IR.
+pub struct NoExtern;
+
+impl ExternOps for NoExtern {
+    fn exec(
+        &mut self,
+        _ctx: &Context,
+        _op: OpId,
+        _args: &[RtValue],
+        _store: &mut Store,
+    ) -> IrResult<Option<Vec<RtValue>>> {
+        Ok(None)
+    }
+}
+
+/// Control-flow outcome of running a block to its terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockExit {
+    /// Block ended without an explicit terminator (e.g. a module body).
+    FellThrough,
+    /// `scf.yield` / `stencil.return` with these values.
+    Yield(Vec<RtValue>),
+    /// `func.return` with these values.
+    Return(Vec<RtValue>),
+}
+
+/// The interpreter state machine.
+pub struct Machine<'c, 'e> {
+    /// The IR being executed.
+    pub ctx: &'c Context,
+    /// SSA value bindings.
+    pub env: HashMap<ValueId, RtValue>,
+    /// Memory.
+    pub store: Store,
+    /// Symbol table: function name → `func.func` op.
+    pub functions: BTreeMap<String, OpId>,
+    extern_ops: &'e mut dyn ExternOps,
+    /// Current stencil apply index (set while evaluating a `stencil.apply`
+    /// region, consumed by `stencil.access`/`stencil.index`).
+    stencil_index: Vec<i64>,
+    /// Fuel: remaining op executions before aborting (runaway-loop guard).
+    pub fuel: u64,
+}
+
+impl<'c, 'e> Machine<'c, 'e> {
+    /// A machine over `ctx` with the given extern hook. `root` is scanned
+    /// for `func.func` symbols.
+    pub fn new(ctx: &'c Context, root: OpId, extern_ops: &'e mut dyn ExternOps) -> Self {
+        let mut functions = BTreeMap::new();
+        for f in ctx.find_ops(root, "func.func") {
+            if let Some(name) = ctx.attr(f, "sym_name").and_then(Attribute::as_str) {
+                functions.insert(name.to_string(), f);
+            }
+        }
+        Self {
+            ctx,
+            env: HashMap::new(),
+            store: Store::new(),
+            functions,
+            extern_ops,
+            stencil_index: Vec::new(),
+            fuel: u64::MAX,
+        }
+    }
+
+    /// Bind an SSA value.
+    pub fn bind(&mut self, value: ValueId, rt: RtValue) {
+        self.env.insert(value, rt);
+    }
+
+    /// Look up an SSA value.
+    pub fn lookup(&self, value: ValueId) -> IrResult<RtValue> {
+        self.env
+            .get(&value)
+            .cloned()
+            .ok_or_else(|| ir_error!("unbound SSA value (type {})", self.ctx.value_type(value)))
+    }
+
+    /// Call function `name` with `args`, returning its results.
+    pub fn call(&mut self, name: &str, args: &[RtValue]) -> IrResult<Vec<RtValue>> {
+        let f = *self
+            .functions
+            .get(name)
+            .ok_or_else(|| ir_error!("call to unknown function `{name}`"))?;
+        let block = self
+            .ctx
+            .entry_block(f)
+            .ok_or_else(|| ir_error!("function `{name}` has no body"))?;
+        let params = self.ctx.block_args(block).to_vec();
+        ir_ensure!(
+            params.len() == args.len(),
+            "function `{name}` takes {} args, got {}",
+            params.len(),
+            args.len()
+        );
+        for (p, a) in params.iter().zip(args) {
+            self.bind(*p, a.clone());
+        }
+        match self.run_block(block)? {
+            BlockExit::Return(values) | BlockExit::Yield(values) => Ok(values),
+            BlockExit::FellThrough => Ok(vec![]),
+        }
+    }
+
+    /// Execute every op in `block`; stop at a terminator.
+    pub fn run_block(&mut self, block: BlockId) -> IrResult<BlockExit> {
+        for &op in self.ctx.block_ops(block) {
+            match self.exec_op(op)? {
+                ExecFlow::Next => {}
+                ExecFlow::Yield(values) => return Ok(BlockExit::Yield(values)),
+                ExecFlow::Return(values) => return Ok(BlockExit::Return(values)),
+            }
+        }
+        Ok(BlockExit::FellThrough)
+    }
+
+    /// Evaluate the operand values of `op`.
+    fn operand_values(&self, op: OpId) -> IrResult<Vec<RtValue>> {
+        self.ctx
+            .operands(op)
+            .iter()
+            .map(|&v| self.lookup(v))
+            .collect()
+    }
+
+    fn bind_results(&mut self, op: OpId, values: Vec<RtValue>) -> IrResult<()> {
+        let results = self.ctx.results(op);
+        ir_ensure!(
+            results.len() == values.len(),
+            "op `{}` produced {} values for {} results",
+            self.ctx.op_name(op),
+            values.len(),
+            results.len()
+        );
+        for (&r, v) in results.iter().zip(values) {
+            self.bind(r, v);
+        }
+        Ok(())
+    }
+
+    /// Execute a single op.
+    pub fn exec_op(&mut self, op: OpId) -> IrResult<ExecFlow> {
+        self.fuel = self
+            .fuel
+            .checked_sub(1)
+            .ok_or_else(|| ir_error!("interpreter out of fuel"))?;
+        if self.fuel == 0 {
+            ir_bail!("interpreter out of fuel");
+        }
+        let name = self.ctx.op_name(op);
+        match name {
+            // ---- terminators ------------------------------------------
+            "scf.yield" | "stencil.return" => {
+                return Ok(ExecFlow::Yield(self.operand_values(op)?));
+            }
+            "func.return" => {
+                return Ok(ExecFlow::Return(self.operand_values(op)?));
+            }
+            // ---- structure --------------------------------------------
+            "builtin.module" | "func.func" => {
+                // Not executed inline; functions run via `call`.
+                ir_bail!("op `{name}` cannot be executed as a statement");
+            }
+            "func.call" => {
+                let callee = self
+                    .ctx
+                    .attr(op, "callee")
+                    .and_then(Attribute::as_str)
+                    .ok_or_else(|| ir_error!("func.call without callee"))?
+                    .to_string();
+                let args = self.operand_values(op)?;
+                // Extern hook gets first refusal: the runtime functions
+                // (load_data, shift_buffer, write_data, …) are provided by
+                // the simulator, mirroring the paper's linked C++ runtime.
+                if let Some(res) = self.extern_ops.exec(self.ctx, op, &args, &mut self.store)? {
+                    self.bind_results(op, res)?;
+                } else {
+                    let res = self.call(&callee, &args)?;
+                    self.bind_results(op, res)?;
+                }
+            }
+            "scf.for" => self.exec_scf_for(op)?,
+            "scf.if" => self.exec_scf_if(op)?,
+            "hls.dataflow" => {
+                // Sequential KPN semantics: run the region inline. Blocking
+                // reads with unbounded FIFOs make this equivalent to any
+                // concurrent schedule (Kahn determinism); the threaded
+                // engine in the simulator exercises true concurrency.
+                if let Some(block) = self.ctx.entry_block(op) {
+                    match self.run_block(block)? {
+                        BlockExit::FellThrough | BlockExit::Yield(_) => {}
+                        other => ir_bail!("unexpected dataflow region exit: {other:?}"),
+                    }
+                }
+            }
+            // ---- everything else: flat ops ------------------------------
+            _ => {
+                let args = self.operand_values(op)?;
+                if let Some(values) = self.exec_flat(op, &args)? {
+                    self.bind_results(op, values)?;
+                } else if let Some(values) =
+                    self.extern_ops.exec(self.ctx, op, &args, &mut self.store)?
+                {
+                    self.bind_results(op, values)?;
+                } else {
+                    ir_bail!("no interpretation for op `{name}`");
+                }
+            }
+        }
+        Ok(ExecFlow::Next)
+    }
+
+    fn exec_scf_for(&mut self, op: OpId) -> IrResult<()> {
+        let args = self.operand_values(op)?;
+        ir_ensure!(args.len() >= 3, "scf.for needs lb, ub, step");
+        let lb = args[0].as_i64()?;
+        let ub = args[1].as_i64()?;
+        let step = args[2].as_i64()?;
+        ir_ensure!(step > 0, "scf.for requires positive step, got {step}");
+        let iter_init = &args[3..];
+        let block = self
+            .ctx
+            .entry_block(op)
+            .ok_or_else(|| ir_error!("scf.for without body"))?;
+        let block_args = self.ctx.block_args(block).to_vec();
+        ir_ensure!(
+            block_args.len() == 1 + iter_init.len(),
+            "scf.for body must take induction variable + {} iter args",
+            iter_init.len()
+        );
+        let mut carried: Vec<RtValue> = iter_init.to_vec();
+        let mut iv = lb;
+        while iv < ub {
+            self.bind(block_args[0], RtValue::I64(iv));
+            for (b, v) in block_args[1..].iter().zip(&carried) {
+                self.bind(*b, v.clone());
+            }
+            match self.run_block(block)? {
+                BlockExit::Yield(values) => {
+                    ir_ensure!(
+                        values.len() == carried.len(),
+                        "scf.yield arity mismatch in scf.for"
+                    );
+                    carried = values;
+                }
+                BlockExit::FellThrough if carried.is_empty() => {}
+                other => ir_bail!("unexpected scf.for body exit: {other:?}"),
+            }
+            iv += step;
+        }
+        self.bind_results(op, carried)
+    }
+
+    fn exec_scf_if(&mut self, op: OpId) -> IrResult<()> {
+        let args = self.operand_values(op)?;
+        ir_ensure!(args.len() == 1, "scf.if takes exactly the condition");
+        let cond = args[0].as_bool()?;
+        let regions = self.ctx.regions(op);
+        ir_ensure!(!regions.is_empty(), "scf.if needs a then-region");
+        let region = if cond {
+            Some(regions[0])
+        } else {
+            regions.get(1).copied()
+        };
+        let values = match region {
+            Some(r) => {
+                let block = *self
+                    .ctx
+                    .region_blocks(r)
+                    .first()
+                    .ok_or_else(|| ir_error!("scf.if region has no block"))?;
+                match self.run_block(block)? {
+                    BlockExit::Yield(values) => values,
+                    BlockExit::FellThrough => vec![],
+                    other => ir_bail!("unexpected scf.if body exit: {other:?}"),
+                }
+            }
+            None => vec![],
+        };
+        if self.ctx.results(op).is_empty() {
+            Ok(())
+        } else {
+            self.bind_results(op, values)
+        }
+    }
+
+    /// Execute a region-free (or stencil) op. Returns `None` when unknown.
+    fn exec_flat(&mut self, op: OpId, args: &[RtValue]) -> IrResult<Option<Vec<RtValue>>> {
+        let ctx = self.ctx;
+        let name = ctx.op_name(op);
+        // Fixed-arity guard: parseable-but-malformed IR (wrong operand
+        // count) must fail with a diagnostic, not an index panic. Ops with
+        // shape-dependent arity (memref, stencil) check in their own arms.
+        let required: Option<usize> = match name {
+            "arith.constant" | "llvm.mlir.constant" | "llvm.mlir.undef" | "stencil.index"
+            | "memref.alloc" | "memref.alloca" => Some(0),
+            "arith.negf"
+            | "arith.index_cast"
+            | "arith.sitofp"
+            | "arith.fptosi"
+            | "math.absf"
+            | "math.sqrt"
+            | "math.exp"
+            | "llvm.extractvalue"
+            | "stencil.external_load"
+            | "stencil.cast"
+            | "stencil.buffer_cast"
+            | "stencil.load" => Some(1),
+            "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.maximumf"
+            | "arith.minimumf" | "arith.addi" | "arith.subi" | "arith.muli" | "arith.divsi"
+            | "arith.remsi" | "arith.andi" | "arith.ori" | "arith.cmpi" | "arith.cmpf"
+            | "math.powf" | "math.copysign" | "llvm.insertvalue" | "stencil.store" => Some(2),
+            "arith.select" | "math.fma" => Some(3),
+            _ => None,
+        };
+        if let Some(required) = required {
+            ir_ensure!(
+                args.len() == required,
+                "op `{name}` takes {required} operand(s), got {}",
+                args.len()
+            );
+        }
+        let one = |v: RtValue| Ok(Some(vec![v]));
+        match name {
+            "arith.constant" => {
+                let attr = ctx
+                    .attr(op, "value")
+                    .ok_or_else(|| ir_error!("arith.constant without value attribute"))?;
+                match attr {
+                    Attribute::Int(v, _) => one(RtValue::I64(*v)),
+                    Attribute::Float(v, _) => one(RtValue::F64(*v)),
+                    Attribute::Bool(b) => one(RtValue::Bool(*b)),
+                    other => ir_bail!("unsupported constant attribute {other}"),
+                }
+            }
+            "arith.addf" => one(RtValue::F64(args[0].as_f64()? + args[1].as_f64()?)),
+            "arith.subf" => one(RtValue::F64(args[0].as_f64()? - args[1].as_f64()?)),
+            "arith.mulf" => one(RtValue::F64(args[0].as_f64()? * args[1].as_f64()?)),
+            "arith.divf" => one(RtValue::F64(args[0].as_f64()? / args[1].as_f64()?)),
+            "arith.negf" => one(RtValue::F64(-args[0].as_f64()?)),
+            "arith.maximumf" => one(RtValue::F64(args[0].as_f64()?.max(args[1].as_f64()?))),
+            "arith.minimumf" => one(RtValue::F64(args[0].as_f64()?.min(args[1].as_f64()?))),
+            "arith.addi" => one(RtValue::I64(
+                args[0].as_i64()?.wrapping_add(args[1].as_i64()?),
+            )),
+            "arith.subi" => one(RtValue::I64(
+                args[0].as_i64()?.wrapping_sub(args[1].as_i64()?),
+            )),
+            "arith.muli" => one(RtValue::I64(
+                args[0].as_i64()?.wrapping_mul(args[1].as_i64()?),
+            )),
+            "arith.divsi" => {
+                let d = args[1].as_i64()?;
+                ir_ensure!(d != 0, "division by zero in arith.divsi");
+                one(RtValue::I64(args[0].as_i64()? / d))
+            }
+            "arith.remsi" => {
+                let d = args[1].as_i64()?;
+                ir_ensure!(d != 0, "division by zero in arith.remsi");
+                one(RtValue::I64(args[0].as_i64()? % d))
+            }
+            "arith.andi" => one(RtValue::I64(args[0].as_i64()? & args[1].as_i64()?)),
+            "arith.ori" => one(RtValue::I64(args[0].as_i64()? | args[1].as_i64()?)),
+            "arith.index_cast" => one(RtValue::I64(args[0].as_i64()?)),
+            "arith.sitofp" => one(RtValue::F64(args[0].as_i64()? as f64)),
+            "arith.fptosi" => one(RtValue::I64(args[0].as_f64()? as i64)),
+            "arith.select" => one(if args[0].as_bool()? {
+                args[1].clone()
+            } else {
+                args[2].clone()
+            }),
+            "arith.cmpi" => {
+                let pred = ctx
+                    .attr(op, "predicate")
+                    .and_then(Attribute::as_str)
+                    .ok_or_else(|| ir_error!("arith.cmpi without predicate"))?;
+                let (a, b) = (args[0].as_i64()?, args[1].as_i64()?);
+                let r = match pred {
+                    "eq" => a == b,
+                    "ne" => a != b,
+                    "slt" => a < b,
+                    "sle" => a <= b,
+                    "sgt" => a > b,
+                    "sge" => a >= b,
+                    other => ir_bail!("unsupported cmpi predicate `{other}`"),
+                };
+                one(RtValue::Bool(r))
+            }
+            "arith.cmpf" => {
+                let pred = ctx
+                    .attr(op, "predicate")
+                    .and_then(Attribute::as_str)
+                    .ok_or_else(|| ir_error!("arith.cmpf without predicate"))?;
+                let (a, b) = (args[0].as_f64()?, args[1].as_f64()?);
+                let r = match pred {
+                    "oeq" => a == b,
+                    "one" => a != b,
+                    "olt" => a < b,
+                    "ole" => a <= b,
+                    "ogt" => a > b,
+                    "oge" => a >= b,
+                    other => ir_bail!("unsupported cmpf predicate `{other}`"),
+                };
+                one(RtValue::Bool(r))
+            }
+            "math.absf" => one(RtValue::F64(args[0].as_f64()?.abs())),
+            "math.sqrt" => one(RtValue::F64(args[0].as_f64()?.sqrt())),
+            "math.exp" => one(RtValue::F64(args[0].as_f64()?.exp())),
+            "math.powf" => one(RtValue::F64(args[0].as_f64()?.powf(args[1].as_f64()?))),
+            "math.copysign" => one(RtValue::F64(args[0].as_f64()?.copysign(args[1].as_f64()?))),
+            "math.fma" => one(RtValue::F64(
+                args[0]
+                    .as_f64()?
+                    .mul_add(args[1].as_f64()?, args[2].as_f64()?),
+            )),
+            // ---- llvm (packed aggregates & annotations) -----------------
+            "llvm.mlir.constant" => {
+                let attr = ctx
+                    .attr(op, "value")
+                    .ok_or_else(|| ir_error!("llvm.mlir.constant without value"))?;
+                match attr {
+                    Attribute::Int(v, _) => one(RtValue::I64(*v)),
+                    Attribute::Float(v, _) => one(RtValue::F64(*v)),
+                    other => ir_bail!("unsupported llvm constant {other}"),
+                }
+            }
+            "llvm.mlir.undef" => {
+                // Packed aggregates start zeroed; size from the result type.
+                let ty = ctx.value_type(ctx.result(op, 0));
+                let n = (ty.byte_size().unwrap_or(8) / 8) as usize;
+                one(RtValue::pack(vec![0.0; n]))
+            }
+            "llvm.extractvalue" => {
+                let position = ctx
+                    .attr(op, "position")
+                    .and_then(Attribute::as_index_array)
+                    .ok_or_else(|| ir_error!("llvm.extractvalue without position"))?;
+                let flat = *position.last().ok_or_else(|| ir_error!("empty position"))?;
+                let pack = args[0].as_pack()?;
+                ir_ensure!(
+                    (flat as usize) < pack.len(),
+                    "extractvalue position {flat} out of range for pack of {}",
+                    pack.len()
+                );
+                one(RtValue::F64(pack[flat as usize]))
+            }
+            "llvm.insertvalue" => {
+                let position = ctx
+                    .attr(op, "position")
+                    .and_then(Attribute::as_index_array)
+                    .ok_or_else(|| ir_error!("llvm.insertvalue without position"))?;
+                let flat = *position.last().ok_or_else(|| ir_error!("empty position"))? as usize;
+                let mut pack = args[0].as_pack()?.to_vec();
+                ir_ensure!(flat < pack.len(), "insertvalue position out of range");
+                pack[flat] = args[1].as_f64()?;
+                one(RtValue::pack(pack))
+            }
+            // ---- memref ------------------------------------------------
+            "memref.alloc" | "memref.alloca" => {
+                let Type::MemRef { shape, .. } = ctx.value_type(ctx.result(op, 0)) else {
+                    ir_bail!("memref.alloc result is not a memref");
+                };
+                ir_ensure!(
+                    shape.iter().all(|&d| d >= 0),
+                    "memref.alloc of dynamic shape unsupported"
+                );
+                let handle = self
+                    .store
+                    .alloc(Buffer::zeroed(shape.clone(), vec![0; shape.len()]));
+                one(RtValue::MemRef(handle))
+            }
+            "memref.dealloc" => Ok(Some(vec![])),
+            "memref.load" => {
+                let handle = args[0].as_memref()?;
+                let index: Vec<i64> = args[1..]
+                    .iter()
+                    .map(RtValue::as_i64)
+                    .collect::<IrResult<_>>()?;
+                let v = self.store.get(handle)?.load(&index)?;
+                one(RtValue::F64(v))
+            }
+            "memref.store" => {
+                let value = args[0].as_f64()?;
+                let handle = args[1].as_memref()?;
+                let index: Vec<i64> = args[2..]
+                    .iter()
+                    .map(RtValue::as_i64)
+                    .collect::<IrResult<_>>()?;
+                self.store.get_mut(handle)?.store(&index, value)?;
+                Ok(Some(vec![]))
+            }
+            // ---- stencil -------------------------------------------------
+            "stencil.external_load" | "stencil.cast" | "stencil.buffer_cast" => {
+                // Reinterpret the underlying buffer handle with another type.
+                one(args[0].clone())
+            }
+            "stencil.external_store" => Ok(Some(vec![])),
+            "stencil.load" => {
+                // field -> temp; same buffer, value semantics preserved by
+                // our transforms never writing through temps.
+                one(args[0].clone())
+            }
+            "stencil.store" => {
+                // temp -> field region copy.
+                let src = args[0].as_memref()?;
+                let dst = args[1].as_memref()?;
+                let bounds = ctx
+                    .attr(op, "bounds")
+                    .and_then(Attribute::as_index_array)
+                    .ok_or_else(|| ir_error!("stencil.store without bounds"))?
+                    .to_vec();
+                let (lb, ub) = split_bounds(&bounds)?;
+                let src_buf = self.store.get(src)?.clone();
+                let dst_buf = self.store.get_mut(dst)?;
+                for index in iter_box(&lb, &ub) {
+                    dst_buf.store(&index, src_buf.load(&index)?)?;
+                }
+                Ok(Some(vec![]))
+            }
+            "stencil.apply" => {
+                self.exec_stencil_apply(op, args)?;
+                Ok(Some(
+                    // results already bound inside; signal by re-reading.
+                    ctx.results(op)
+                        .iter()
+                        .map(|&r| self.lookup(r))
+                        .collect::<IrResult<Vec<_>>>()?,
+                ))
+            }
+            "stencil.access" => {
+                let handle = args[0].as_memref()?;
+                let offset = ctx
+                    .attr(op, "offset")
+                    .and_then(Attribute::as_index_array)
+                    .ok_or_else(|| ir_error!("stencil.access without offset"))?;
+                ir_ensure!(
+                    !self.stencil_index.is_empty(),
+                    "stencil.access outside stencil.apply"
+                );
+                let index: Vec<i64> = self
+                    .stencil_index
+                    .iter()
+                    .zip(offset)
+                    .map(|(&i, &o)| i + o)
+                    .collect();
+                let v = self.store.get(handle)?.load(&index)?;
+                one(RtValue::F64(v))
+            }
+            "stencil.index" => {
+                let dim = ctx
+                    .attr(op, "dim")
+                    .and_then(Attribute::as_int)
+                    .ok_or_else(|| ir_error!("stencil.index without dim"))?
+                    as usize;
+                ir_ensure!(
+                    dim < self.stencil_index.len(),
+                    "stencil.index dim {dim} out of range"
+                );
+                one(RtValue::I64(self.stencil_index[dim]))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// `stencil.apply`: run the region once per point of the result bounds.
+    fn exec_stencil_apply(&mut self, op: OpId, args: &[RtValue]) -> IrResult<()> {
+        let ctx = self.ctx;
+        let results = ctx.results(op).to_vec();
+        ir_ensure!(!results.is_empty(), "stencil.apply without results");
+        // Allocate result temp buffers from the result types.
+        let mut out_handles = Vec::with_capacity(results.len());
+        for &r in &results {
+            let ty = ctx.value_type(r);
+            let bounds = ty
+                .stencil_bounds()
+                .ok_or_else(|| ir_error!("stencil.apply result is not a stencil.temp"))?;
+            let handle = self
+                .store
+                .alloc(Buffer::zeroed(bounds.extents(), bounds.lb.clone()));
+            out_handles.push(handle);
+            self.bind(r, RtValue::MemRef(handle));
+        }
+        let bounds = ctx
+            .value_type(results[0])
+            .stencil_bounds()
+            .expect("checked above")
+            .clone();
+        let block = ctx
+            .entry_block(op)
+            .ok_or_else(|| ir_error!("stencil.apply without body"))?;
+        let params = ctx.block_args(block).to_vec();
+        ir_ensure!(
+            params.len() == args.len(),
+            "stencil.apply region takes {} args, got {} operands",
+            params.len(),
+            args.len()
+        );
+        let saved_index = std::mem::take(&mut self.stencil_index);
+        for index in iter_box(&bounds.lb, &bounds.ub) {
+            self.stencil_index = index.clone();
+            for (p, a) in params.iter().zip(args) {
+                self.bind(*p, a.clone());
+            }
+            match self.run_block(block)? {
+                BlockExit::Yield(values) => {
+                    ir_ensure!(
+                        values.len() == out_handles.len(),
+                        "stencil.return arity mismatch"
+                    );
+                    for (&h, v) in out_handles.iter().zip(values) {
+                        let value = v.as_f64()?;
+                        self.store.get_mut(h)?.store(&index, value)?;
+                    }
+                }
+                other => ir_bail!("stencil.apply body must end in stencil.return, got {other:?}"),
+            }
+        }
+        self.stencil_index = saved_index;
+        Ok(())
+    }
+}
+
+/// Control-flow signal from executing one op.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecFlow {
+    /// Continue with the next op.
+    Next,
+    /// Enclosing region op receives these values (scf.yield etc.).
+    Yield(Vec<RtValue>),
+    /// Enclosing function returns these values.
+    Return(Vec<RtValue>),
+}
+
+/// Split a flattened `[lb..., ub...]` bounds attribute into halves.
+pub fn split_bounds(flat: &[i64]) -> IrResult<(Vec<i64>, Vec<i64>)> {
+    ir_ensure!(
+        flat.len().is_multiple_of(2),
+        "bounds attribute must have even length"
+    );
+    let rank = flat.len() / 2;
+    Ok((flat[..rank].to_vec(), flat[rank..].to_vec()))
+}
+
+/// Iterate all integer points of the box `[lb, ub)` in row-major order.
+pub fn iter_box(lb: &[i64], ub: &[i64]) -> Vec<Vec<i64>> {
+    assert_eq!(lb.len(), ub.len());
+    let rank = lb.len();
+    if rank == 0 {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    let mut index = lb.to_vec();
+    if lb.iter().zip(ub).any(|(&l, &u)| l >= u) {
+        return out;
+    }
+    loop {
+        out.push(index.clone());
+        // Increment like an odometer, last dim fastest.
+        let mut d = rank;
+        loop {
+            if d == 0 {
+                return out;
+            }
+            d -= 1;
+            index[d] += 1;
+            if index[d] < ub[d] {
+                break;
+            }
+            index[d] = lb[d];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OpBuilder;
+    use crate::prelude::*;
+
+    fn run_main(src: &str, args: &[RtValue]) -> IrResult<Vec<RtValue>> {
+        let (ctx, module) = parse_op(src).unwrap();
+        let mut no = NoExtern;
+        let mut m = Machine::new(&ctx, module, &mut no);
+        m.call("main", args)
+    }
+
+    #[test]
+    fn arith_and_return() {
+        let src = r#""builtin.module"() ({
+^bb():
+  "func.func"() ({
+  ^bb(%a: f64, %b: f64):
+    %0 = "arith.mulf"(%a, %b) : (f64, f64) -> (f64)
+    %1 = "arith.addf"(%0, %a) : (f64, f64) -> (f64)
+    "func.return"(%1) : (f64) -> ()
+  }) {sym_name = "main"} : () -> ()
+}) : () -> ()"#;
+        let out = run_main(src, &[RtValue::F64(3.0), RtValue::F64(4.0)]).unwrap();
+        assert_eq!(out, vec![RtValue::F64(15.0)]);
+    }
+
+    #[test]
+    fn scf_for_accumulates() {
+        // sum = Σ_{i=0}^{9} i   via iter_args
+        let src = r#""builtin.module"() ({
+^bb():
+  "func.func"() ({
+  ^bb():
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 10 : index} : () -> (index)
+    %st = "arith.constant"() {value = 1 : index} : () -> (index)
+    %init = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %sum = "scf.for"(%lb, %ub, %st, %init) ({
+    ^bb(%i: index, %acc: i64):
+      %ii = "arith.index_cast"(%i) : (index) -> (i64)
+      %next = "arith.addi"(%acc, %ii) : (i64, i64) -> (i64)
+      "scf.yield"(%next) : (i64) -> ()
+    }) : (index, index, index, i64) -> (i64)
+    "func.return"(%sum) : (i64) -> ()
+  }) {sym_name = "main"} : () -> ()
+}) : () -> ()"#;
+        let out = run_main(src, &[]).unwrap();
+        assert_eq!(out, vec![RtValue::I64(45)]);
+    }
+
+    #[test]
+    fn scf_if_selects_branch() {
+        let src = r#""builtin.module"() ({
+^bb():
+  "func.func"() ({
+  ^bb(%c: i1):
+    %r = "scf.if"(%c) ({
+    ^bb():
+      %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+      "scf.yield"(%a) : (i64) -> ()
+    }, {
+    ^bb():
+      %b = "arith.constant"() {value = 2 : i64} : () -> (i64)
+      "scf.yield"(%b) : (i64) -> ()
+    }) : (i1) -> (i64)
+    "func.return"(%r) : (i64) -> ()
+  }) {sym_name = "main"} : () -> ()
+}) : () -> ()"#;
+        assert_eq!(
+            run_main(src, &[RtValue::Bool(true)]).unwrap(),
+            vec![RtValue::I64(1)]
+        );
+        assert_eq!(
+            run_main(src, &[RtValue::Bool(false)]).unwrap(),
+            vec![RtValue::I64(2)]
+        );
+    }
+
+    #[test]
+    fn memref_load_store() {
+        let src = r#""builtin.module"() ({
+^bb():
+  "func.func"() ({
+  ^bb():
+    %m = "memref.alloc"() : () -> (memref<4xf64>)
+    %i = "arith.constant"() {value = 2 : index} : () -> (index)
+    %v = "arith.constant"() {value = 7.5e0 : f64} : () -> (f64)
+    "memref.store"(%v, %m, %i) : (f64, memref<4xf64>, index) -> ()
+    %r = "memref.load"(%m, %i) : (memref<4xf64>, index) -> (f64)
+    "func.return"(%r) : (f64) -> ()
+  }) {sym_name = "main"} : () -> ()
+}) : () -> ()"#;
+        assert_eq!(run_main(src, &[]).unwrap(), vec![RtValue::F64(7.5)]);
+    }
+
+    #[test]
+    fn buffer_bounds_checked() {
+        let mut b = Buffer::zeroed(vec![4, 4], vec![0, 0]);
+        assert!(b.store(&[3, 3], 1.0).is_ok());
+        assert!(b.store(&[4, 0], 1.0).is_err());
+        assert!(b.load(&[-1, 0]).is_err());
+        // With a shifted origin (halo), negative logical indices are valid.
+        let b2 = Buffer::zeroed(vec![6, 6], vec![-1, -1]);
+        assert!(b2.load(&[-1, -1]).is_ok());
+        assert!(b2.load(&[4, 4]).is_ok());
+        assert!(b2.load(&[5, 5]).is_err());
+    }
+
+    #[test]
+    fn iter_box_order_and_count() {
+        let pts = iter_box(&[0, 0], &[2, 3]);
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], vec![0, 0]);
+        assert_eq!(pts[1], vec![0, 1]); // last dim fastest
+        assert_eq!(pts[5], vec![1, 2]);
+        assert!(iter_box(&[0], &[0]).is_empty());
+        assert_eq!(iter_box(&[], &[]), vec![Vec::<i64>::new()]);
+    }
+
+    #[test]
+    fn stencil_apply_one_dimensional_sum() {
+        // The paper's Listing 1: out[i] = in[i-1] + in[i+1] over [0, 8).
+        let mut ctx = Context::new();
+        let module = ctx.create_op("builtin.module", vec![], vec![], Default::default());
+        let mr = ctx.add_region(module);
+        let mb = ctx.add_block(mr, vec![]);
+        let field_ty = Type::stencil_field(StencilBounds::new(vec![-1], vec![9]), Type::F64);
+        let temp_in = Type::stencil_temp(StencilBounds::new(vec![-1], vec![9]), Type::F64);
+        let temp_out = Type::stencil_temp(StencilBounds::new(vec![0], vec![8]), Type::F64);
+
+        let mut b = OpBuilder::at_block_end(&mut ctx, mb);
+        let mut fattrs = std::collections::BTreeMap::new();
+        fattrs.insert("sym_name".to_string(), Attribute::string("main"));
+        let (_f, fb) = b.build_with_region(
+            "func.func",
+            vec![],
+            vec![],
+            fattrs,
+            vec![field_ty.clone(), field_ty.clone()],
+        );
+        let fin = ctx.block_args(fb)[0];
+        let fout = ctx.block_args(fb)[1];
+        let mut b = OpBuilder::at_block_end(&mut ctx, fb);
+        let loaded = b.build_value("stencil.load", vec![fin], temp_in.clone());
+        let (apply, ab) = b.build_with_region(
+            "stencil.apply",
+            vec![loaded],
+            vec![temp_out.clone()],
+            Default::default(),
+            vec![temp_in.clone()],
+        );
+        let arg = ctx.block_args(ab)[0];
+        let mut ib = OpBuilder::at_block_end(&mut ctx, ab);
+        let l = ib.build_value("stencil.access", vec![arg], Type::F64);
+        ctx.set_attr(
+            ctx.defining_op(l).unwrap(),
+            "offset",
+            Attribute::IndexArray(vec![-1]),
+        );
+        let mut ib = OpBuilder::at_block_end(&mut ctx, ab);
+        let r = ib.build_value("stencil.access", vec![arg], Type::F64);
+        ctx.set_attr(
+            ctx.defining_op(r).unwrap(),
+            "offset",
+            Attribute::IndexArray(vec![1]),
+        );
+        let mut ib = OpBuilder::at_block_end(&mut ctx, ab);
+        let s = ib.build_value("arith.addf", vec![l, r], Type::F64);
+        ib.build("stencil.return", vec![s], vec![]);
+
+        let apply_res = ctx.result(apply, 0);
+        let mut b = OpBuilder::at_block_end(&mut ctx, fb);
+        let store = b.build("stencil.store", vec![apply_res, fout], vec![]);
+        b.build("func.return", vec![], vec![]);
+        ctx.set_attr(store, "bounds", Attribute::IndexArray(vec![0, 8]));
+
+        crate::verifier::verify(&ctx, module).unwrap();
+
+        let mut no = NoExtern;
+        let mut m = Machine::new(&ctx, module, &mut no);
+        // input field: value = index, with halo.
+        let mut in_buf = Buffer::zeroed(vec![10], vec![-1]);
+        for i in -1..9 {
+            in_buf.store(&[i], i as f64).unwrap();
+        }
+        let in_h = m.store.alloc(in_buf);
+        let out_h = m.store.alloc(Buffer::zeroed(vec![10], vec![-1]));
+        m.call("main", &[RtValue::MemRef(in_h), RtValue::MemRef(out_h)])
+            .unwrap();
+        for i in 0..8i64 {
+            let got = m.store.get(out_h).unwrap().load(&[i]).unwrap();
+            assert_eq!(got, (i - 1) as f64 + (i + 1) as f64, "point {i}");
+        }
+    }
+
+    #[test]
+    fn fuel_limits_runaway() {
+        let src = r#""builtin.module"() ({
+^bb():
+  "func.func"() ({
+  ^bb():
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 1000000 : index} : () -> (index)
+    %st = "arith.constant"() {value = 1 : index} : () -> (index)
+    "scf.for"(%lb, %ub, %st) ({
+    ^bb(%i: index):
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main"} : () -> ()
+}) : () -> ()"#;
+        let (ctx, module) = parse_op(src).unwrap();
+        let mut no = NoExtern;
+        let mut m = Machine::new(&ctx, module, &mut no);
+        m.fuel = 1000;
+        let e = m.call("main", &[]).unwrap_err();
+        assert!(e.to_string().contains("fuel"), "{e}");
+    }
+
+    #[test]
+    fn unknown_op_is_error() {
+        let src = r#""builtin.module"() ({
+^bb():
+  "func.func"() ({
+  ^bb():
+    "hls.pipeline"() : () -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "main"} : () -> ()
+}) : () -> ()"#;
+        let e = run_main(src, &[]).unwrap_err();
+        assert!(e.to_string().contains("no interpretation"), "{e}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Greedy pattern-rewrite driver, the workhorse behind every lowering in
+//! this project (mirroring MLIR's `applyPatternsAndFoldGreedily`).
+
+use crate::error::IrResult;
+use crate::ir::{Context, OpId};
+use crate::ir_bail;
+
+/// A rewrite pattern: inspect `op` and either leave it alone (`Ok(false)`)
+/// or mutate the IR around/instead of it (`Ok(true)`).
+///
+/// Contract: when a pattern returns `Ok(true)` it must have made progress —
+/// the driver re-runs until a full sweep makes no change, so a pattern that
+/// reports progress without changing anything livelocks the driver (guarded
+/// by [`RewriteDriver::max_iterations`]).
+pub trait RewritePattern {
+    /// Human-readable name used in diagnostics.
+    fn name(&self) -> &str;
+
+    /// Attempt to rewrite `op`.
+    fn match_and_rewrite(&self, ctx: &mut Context, op: OpId) -> IrResult<bool>;
+}
+
+/// Statistics from a driver run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Total number of successful pattern applications.
+    pub applications: usize,
+    /// Number of full sweeps over the IR.
+    pub sweeps: usize,
+}
+
+/// Applies a set of patterns greedily until fixpoint.
+pub struct RewriteDriver<'p> {
+    patterns: Vec<&'p dyn RewritePattern>,
+    /// Safety valve against non-terminating pattern sets.
+    pub max_iterations: usize,
+}
+
+impl<'p> RewriteDriver<'p> {
+    /// A driver over the given patterns.
+    pub fn new(patterns: Vec<&'p dyn RewritePattern>) -> Self {
+        Self {
+            patterns,
+            max_iterations: 64,
+        }
+    }
+
+    /// Run to fixpoint on everything nested under `root`.
+    pub fn run(&self, ctx: &mut Context, root: OpId) -> IrResult<RewriteStats> {
+        let mut stats = RewriteStats::default();
+        loop {
+            stats.sweeps += 1;
+            if stats.sweeps > self.max_iterations {
+                ir_bail!(
+                    "rewrite driver exceeded {} sweeps; pattern set likely does not converge",
+                    self.max_iterations
+                );
+            }
+            let mut changed = false;
+            // Snapshot the op list: patterns may add/erase ops. Freshly
+            // created ops get picked up on the next sweep.
+            let worklist = ctx.walk_collect(root);
+            for op in worklist {
+                if !ctx.is_live_op(op) {
+                    continue;
+                }
+                for pattern in &self.patterns {
+                    if !ctx.is_live_op(op) {
+                        break;
+                    }
+                    let fired = pattern
+                        .match_and_rewrite(ctx, op)
+                        .map_err(|e| e.context(format!("pattern `{}`", pattern.name())))?;
+                    if fired {
+                        stats.applications += 1;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Ok(stats);
+            }
+        }
+    }
+}
+
+/// Erase ops with no side effects whose results are all unused. `pure_ops`
+/// decides side-effect freedom by op name.
+pub fn dead_code_elimination(
+    ctx: &mut Context,
+    root: OpId,
+    is_pure: &dyn Fn(&str) -> bool,
+) -> usize {
+    let mut erased = 0;
+    loop {
+        let mut any = false;
+        for op in ctx.walk_collect(root) {
+            if !ctx.is_live_op(op) || op == root {
+                continue;
+            }
+            let name = ctx.op_name(op).to_string();
+            if !is_pure(&name) {
+                continue;
+            }
+            let dead = ctx.results(op).iter().all(|&r| ctx.value_unused(r));
+            // Ops with regions may contain side-effecting ops; only erase
+            // region-free pure ops.
+            if dead && ctx.regions(op).is_empty() {
+                ctx.erase_op(op);
+                erased += 1;
+                any = true;
+            }
+        }
+        if !any {
+            return erased;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OpBuilder;
+    use crate::types::Type;
+    use std::collections::BTreeMap;
+
+    fn module(ctx: &mut Context) -> (OpId, crate::ir::BlockId) {
+        let m = ctx.create_op("builtin.module", vec![], vec![], BTreeMap::new());
+        let r = ctx.add_region(m);
+        let b = ctx.add_block(r, vec![]);
+        (m, b)
+    }
+
+    /// Renames `test.old` ops to `test.new`.
+    struct Rename;
+    impl RewritePattern for Rename {
+        fn name(&self) -> &str {
+            "rename"
+        }
+        fn match_and_rewrite(&self, ctx: &mut Context, op: OpId) -> IrResult<bool> {
+            if ctx.op_name(op) == "test.old" {
+                ctx.set_op_name(op, "test.new");
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_and_stats() {
+        let mut ctx = Context::new();
+        let (m, block) = module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, block);
+        b.build("test.old", vec![], vec![]);
+        b.build("test.old", vec![], vec![]);
+        b.build("test.other", vec![], vec![]);
+        let driver = RewriteDriver::new(vec![&Rename]);
+        let stats = driver.run(&mut ctx, m).unwrap();
+        assert_eq!(stats.applications, 2);
+        assert_eq!(ctx.find_ops(m, "test.new").len(), 2);
+        assert_eq!(ctx.find_ops(m, "test.old").len(), 0);
+    }
+
+    /// A pattern that lies about progress.
+    struct Liar;
+    impl RewritePattern for Liar {
+        fn name(&self) -> &str {
+            "liar"
+        }
+        fn match_and_rewrite(&self, _ctx: &mut Context, _op: OpId) -> IrResult<bool> {
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn non_converging_patterns_error() {
+        let mut ctx = Context::new();
+        let (m, block) = module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, block);
+        b.build("test.x", vec![], vec![]);
+        let driver = RewriteDriver::new(vec![&Liar]);
+        let e = driver.run(&mut ctx, m).unwrap_err();
+        assert!(e.to_string().contains("does not converge"), "{e}");
+    }
+
+    #[test]
+    fn dce_removes_unused_pure_ops() {
+        let mut ctx = Context::new();
+        let (m, block) = module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, block);
+        let a = b.build_value("arith.constant", vec![], Type::F64);
+        let bb = b.build_value("arith.constant", vec![], Type::F64);
+        let sum = b.build_value("arith.addf", vec![a, bb], Type::F64);
+        let _unused = b.build_value("arith.mulf", vec![sum, sum], Type::F64);
+        b.build("test.sink", vec![], vec![]);
+        let erased = dead_code_elimination(&mut ctx, m, &|n| n.starts_with("arith."));
+        // mulf dies, then addf, then both constants.
+        assert_eq!(erased, 4);
+        assert_eq!(ctx.find_ops(m, "test.sink").len(), 1);
+    }
+
+    #[test]
+    fn dce_keeps_used_chain() {
+        let mut ctx = Context::new();
+        let (m, block) = module(&mut ctx);
+        let mut b = OpBuilder::at_block_end(&mut ctx, block);
+        let a = b.build_value("arith.constant", vec![], Type::F64);
+        b.build("test.effect", vec![a], vec![]);
+        let erased = dead_code_elimination(&mut ctx, m, &|n| n.starts_with("arith."));
+        assert_eq!(erased, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Property tests: printer/parser round-trips on randomly generated
+//! types, attributes, and whole modules.
+
+use proptest::prelude::*;
+use shmls_ir::prelude::*;
+
+// ---- generators ---------------------------------------------------------
+
+fn arb_scalar_type() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        Just(Type::I1),
+        Just(Type::I32),
+        Just(Type::I64),
+        Just(Type::Index),
+        Just(Type::F32),
+        Just(Type::F64),
+    ]
+}
+
+fn arb_type() -> impl Strategy<Value = Type> {
+    let leaf = arb_scalar_type();
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (prop::collection::vec(1i64..16, 0..3), inner.clone())
+                .prop_map(|(shape, elem)| Type::memref(shape, elem)),
+            inner.clone().prop_map(Type::llvm_ptr),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Type::LlvmStruct),
+            (1u64..64, inner.clone()).prop_map(|(n, t)| Type::llvm_array(n, t)),
+            inner.clone().prop_map(Type::hls_stream),
+            inner.clone().prop_map(Type::stencil_result),
+            (
+                prop::collection::vec((-4i64..4, 5i64..70), 1..4),
+                inner.clone()
+            )
+                .prop_map(|(bounds, elem)| {
+                    let (lb, ub): (Vec<i64>, Vec<i64>) = bounds.into_iter().unzip();
+                    Type::stencil_field(StencilBounds::new(lb, ub), elem)
+                }),
+            (
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner, 0..3)
+            )
+                .prop_map(|(i, r)| Type::function(i, r)),
+        ]
+    })
+}
+
+fn arb_attribute() -> impl Strategy<Value = Attribute> {
+    let leaf = prop_oneof![
+        Just(Attribute::Unit),
+        any::<bool>().prop_map(Attribute::Bool),
+        any::<i64>().prop_map(Attribute::int),
+        (-1.0e12..1.0e12f64).prop_map(Attribute::f64),
+        "[a-z][a-z0-9_]{0,8}".prop_map(Attribute::string),
+        "[a-z][a-z0-9_]{0,8}".prop_map(Attribute::symbol),
+        prop::collection::vec(any::<i64>(), 0..5).prop_map(Attribute::IndexArray),
+        arb_scalar_type().prop_map(Attribute::TypeAttr),
+    ];
+    leaf.prop_recursive(2, 16, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Attribute::Array),
+            prop::collection::btree_map("[a-z][a-z0-9_]{0,6}", inner, 0..4)
+                .prop_map(Attribute::Dict),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn type_round_trip(t in arb_type()) {
+        let text = t.to_string();
+        let parsed = shmls_ir::parser::parse_type(&text)
+            .unwrap_or_else(|e| panic!("parse `{text}`: {e}"));
+        prop_assert_eq!(&parsed, &t);
+        prop_assert_eq!(parsed.to_string(), text);
+    }
+
+    #[test]
+    fn attribute_round_trip(a in arb_attribute()) {
+        let text = a.to_string();
+        let parsed = shmls_ir::parser::parse_attribute(&text)
+            .unwrap_or_else(|e| panic!("parse `{text}`: {e}"));
+        // Floats may lose no precision with {:e}; require exact equality.
+        prop_assert_eq!(&parsed, &a);
+        prop_assert_eq!(parsed.to_string(), text);
+    }
+}
+
+// ---- random module round trip -------------------------------------------
+
+/// A recipe for one op in a random straight-line function body.
+#[derive(Debug, Clone)]
+enum OpRecipe {
+    ConstF64(f64),
+    ConstIndex(i64),
+    /// Binary float op over two earlier f64 values (by index).
+    Binary(u8, usize, usize),
+    /// A region op (scf.for-like) whose body uses an earlier f64 value.
+    Loop(usize),
+}
+
+fn arb_recipes() -> impl Strategy<Value = Vec<OpRecipe>> {
+    prop::collection::vec(
+        prop_oneof![
+            (-1.0e6..1.0e6f64).prop_map(OpRecipe::ConstF64),
+            (0i64..100).prop_map(OpRecipe::ConstIndex),
+            (
+                0u8..4,
+                any::<prop::sample::Index>(),
+                any::<prop::sample::Index>()
+            )
+                .prop_map(|(k, a, b)| OpRecipe::Binary(
+                    k,
+                    a.index(1 << 16),
+                    b.index(1 << 16)
+                )),
+            any::<prop::sample::Index>().prop_map(|a| OpRecipe::Loop(a.index(1 << 16))),
+        ],
+        1..24,
+    )
+}
+
+fn build_module(recipes: &[OpRecipe]) -> (Context, OpId) {
+    let mut ctx = Context::new();
+    let module = ctx.create_op("builtin.module", vec![], vec![], Default::default());
+    let mregion = ctx.add_region(module);
+    let mblock = ctx.add_block(mregion, vec![]);
+    let f = ctx.create_op("func.func", vec![], vec![], Default::default());
+    ctx.set_attr(f, "sym_name", Attribute::string("random"));
+    let fregion = ctx.add_region(f);
+    let fblock = ctx.add_block(fregion, vec![Type::F64]);
+    ctx.append_op(mblock, f);
+
+    let mut floats: Vec<ValueId> = vec![ctx.block_args(fblock)[0]];
+    for r in recipes {
+        match r {
+            OpRecipe::ConstF64(v) => {
+                let mut b = OpBuilder::at_block_end(&mut ctx, fblock);
+                let op = b.build("arith.constant", vec![], vec![Type::F64]);
+                ctx.set_attr(op, "value", Attribute::f64(*v));
+                floats.push(ctx.result(op, 0));
+            }
+            OpRecipe::ConstIndex(v) => {
+                let mut b = OpBuilder::at_block_end(&mut ctx, fblock);
+                let op = b.build("arith.constant", vec![], vec![Type::Index]);
+                ctx.set_attr(op, "value", Attribute::index(*v));
+            }
+            OpRecipe::Binary(kind, a, b_idx) => {
+                let name = match kind % 4 {
+                    0 => "arith.addf",
+                    1 => "arith.subf",
+                    2 => "arith.mulf",
+                    _ => "arith.divf",
+                };
+                let lhs = floats[a % floats.len()];
+                let rhs = floats[b_idx % floats.len()];
+                let mut b = OpBuilder::at_block_end(&mut ctx, fblock);
+                floats.push(b.build_value(name, vec![lhs, rhs], Type::F64));
+            }
+            OpRecipe::Loop(a) => {
+                let used = floats[a % floats.len()];
+                let mut b = OpBuilder::at_block_end(&mut ctx, fblock);
+                let lb = b.build_value("arith.constant", vec![], Type::Index);
+                let lb_op = ctx.defining_op(lb).unwrap();
+                ctx.set_attr(lb_op, "value", Attribute::index(0));
+                let mut b = OpBuilder::at_block_end(&mut ctx, fblock);
+                let (for_op, body) = b.build_with_region(
+                    "scf.for",
+                    vec![lb, lb, lb],
+                    vec![],
+                    Default::default(),
+                    vec![Type::Index],
+                );
+                let _ = for_op;
+                let mut ib = OpBuilder::at_block_end(&mut ctx, body);
+                let doubled = ib.build_value("arith.addf", vec![used, used], Type::F64);
+                let _ = doubled;
+                let mut ib = OpBuilder::at_block_end(&mut ctx, body);
+                ib.build("scf.yield", vec![], vec![]);
+            }
+        }
+    }
+    let mut b = OpBuilder::at_block_end(&mut ctx, fblock);
+    b.build("func.return", vec![], vec![]);
+    (ctx, module)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn module_round_trip(recipes in arb_recipes()) {
+        let (ctx, module) = build_module(&recipes);
+        shmls_ir::verifier::verify(&ctx, module).unwrap();
+        let text = print_op(&ctx, module);
+        let (ctx2, module2) = parse_op(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        let text2 = print_op(&ctx2, module2);
+        prop_assert_eq!(text, text2);
+        shmls_ir::verifier::verify(&ctx2, module2).unwrap();
+    }
+
+    #[test]
+    fn clone_preserves_structure(recipes in arb_recipes()) {
+        let (mut ctx, module) = build_module(&recipes);
+        let before = print_op(&ctx, module);
+        let mut map = std::collections::HashMap::new();
+        let clone = ctx.clone_op(module, &mut map);
+        // Original unchanged, clone prints identically.
+        prop_assert_eq!(&print_op(&ctx, module), &before);
+        prop_assert_eq!(&print_op(&ctx, clone), &before);
+        // The clone is fully disjoint: erasing it leaves the original.
+        ctx.erase_op(clone);
+        prop_assert_eq!(&print_op(&ctx, module), &before);
+        shmls_ir::verifier::verify(&ctx, module).unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! # shmls-kernels — the paper's benchmark kernels
+//!
+//! The two real-world 3D stencil kernels of the evaluation (§4), written
+//! in the frontend DSL with hand-written native Rust golden references:
+//!
+//! - [`pw_advection`] — the Piacsek–Williams advection scheme (MONC
+//!   atmospheric model): 3 stencil computations over 3 fields, 7 AXI
+//!   ports per compute unit.
+//! - [`tracer_advection`] — the NEMO tracer advection scheme
+//!   (PSycloneBench): 24 stencil computations across 6 written fields, 17
+//!   memory-mapped arguments.
+//! - [`laplace`] — small demo kernels (quickstart, Listing 1).
+//! - [`workload`] — the paper's problem sizes (8M/32M/134M, 8M/33M).
+//! - [`grid`] — halo-padded grid storage for the golden paths.
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod laplace;
+pub mod pw_advection;
+pub mod tracer_advection;
+pub mod workload;
+
+pub use grid::{fsign, Grid3, Param1};
+pub use workload::{pw_sizes, tracer_sizes, validation_size, ProblemSize};

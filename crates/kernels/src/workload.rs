@@ -1,0 +1,109 @@
+//! Problem sizes of the paper's evaluation (§4 / artifact appendix).
+//!
+//! PW advection is measured at 8M, 32M and 134M points, tracer advection
+//! at 8M and 33M; all sizes keep 128 vertical levels and fit the U280's
+//! 8 GB of HBM.
+
+/// One evaluation problem size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProblemSize {
+    /// Paper label ("8M", "32M", "134M", "33M").
+    pub label: &'static str,
+    /// Grid extents (nx, ny, nz).
+    pub grid: [i64; 3],
+}
+
+impl ProblemSize {
+    /// Interior points.
+    pub fn points(&self) -> i64 {
+        self.grid.iter().product()
+    }
+
+    /// Bytes of one f64 field including a halo of 1.
+    pub fn field_bytes(&self) -> u64 {
+        self.grid.iter().map(|&e| (e + 2) as u64).product::<u64>() * 8
+    }
+}
+
+/// PW advection problem sizes (Figure 4 left, Figure 5, Table 1).
+pub fn pw_sizes() -> Vec<ProblemSize> {
+    vec![
+        ProblemSize {
+            label: "8M",
+            grid: [256, 256, 128],
+        },
+        ProblemSize {
+            label: "32M",
+            grid: [512, 512, 128],
+        },
+        ProblemSize {
+            label: "134M",
+            grid: [1024, 1024, 128],
+        },
+    ]
+}
+
+/// Tracer advection problem sizes (Figure 4 right, Figure 6, Table 2).
+pub fn tracer_sizes() -> Vec<ProblemSize> {
+    vec![
+        ProblemSize {
+            label: "8M",
+            grid: [256, 256, 128],
+        },
+        ProblemSize {
+            label: "33M",
+            grid: [512, 512, 128],
+        },
+    ]
+}
+
+/// Small sizes used for functional validation (full dataflow execution on
+/// the simulator's functional engine).
+pub fn validation_size() -> ProblemSize {
+    ProblemSize {
+        label: "tiny",
+        grid: [12, 10, 8],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_point_counts() {
+        let pw = pw_sizes();
+        assert!((pw[0].points() as f64 / 1e6 - 8.4).abs() < 0.1);
+        assert!((pw[1].points() as f64 / 1e6 - 33.6).abs() < 0.1);
+        assert!((pw[2].points() as f64 / 1e6 - 134.2).abs() < 0.3);
+        let tr = tracer_sizes();
+        assert_eq!(tr[0].grid, pw[0].grid);
+        assert_eq!(tr[1].grid, pw[1].grid);
+    }
+
+    #[test]
+    fn pw_134m_fits_u280_hbm() {
+        // 6 fields of the largest PW size + small data must fit 8 GB.
+        let s = &pw_sizes()[2];
+        let total = 6 * s.field_bytes();
+        assert!(total < 8 * (1 << 30), "{} bytes exceeds HBM", total);
+    }
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::*;
+
+    #[test]
+    fn tracer_33m_fits_u280_hbm() {
+        // 16 external fields of the largest tracer size must fit 8 GB.
+        let s = &tracer_sizes()[1];
+        let total = 16 * s.field_bytes();
+        assert!(total < 8 * (1 << 30), "{total} bytes exceeds HBM");
+    }
+
+    #[test]
+    fn validation_size_is_small() {
+        assert!(validation_size().points() < 10_000);
+    }
+}

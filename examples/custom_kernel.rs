@@ -1,0 +1,93 @@
+//! Build a kernel programmatically with the AST builder API (no DSL text)
+//! — the way a DSL frontend like PSyclone would drive this compiler — and
+//! run it through the full pipeline.
+//!
+//! ```sh
+//! cargo run --example custom_kernel
+//! ```
+
+use shmls_frontend::ast::build::{add, cst, field, mul, param, sub};
+use shmls_frontend::{ComputeDef, ConstDecl, FieldDecl, FieldKind, KernelDef, ParamDecl};
+use stencil_hmls::runner::{run_hls, run_stencil, KernelData};
+use stencil_hmls::{compile_kernel, CompileOptions};
+
+fn main() {
+    // A 3D upwind-ish kernel with a vertical coefficient, built as an AST:
+    //   out = c * (a[i,j,k] - a[i-1,j,k]) + kappa[k] * (a[i,j,k+1] - a[i,j,k])
+    let kernel = KernelDef {
+        name: "upwind".to_string(),
+        grid: vec![12, 10, 8],
+        halo: 1,
+        fields: vec![
+            FieldDecl {
+                name: "a".into(),
+                kind: FieldKind::Input,
+            },
+            FieldDecl {
+                name: "out".into(),
+                kind: FieldKind::Output,
+            },
+        ],
+        params: vec![ParamDecl {
+            name: "kappa".into(),
+            axis: 2,
+        }],
+        consts: vec![ConstDecl { name: "c".into() }],
+        computes: vec![ComputeDef {
+            target: "out".into(),
+            expr: add(
+                mul(
+                    cst("c"),
+                    sub(field("a", &[0, 0, 0]), field("a", &[-1, 0, 0])),
+                ),
+                mul(
+                    param("kappa", 0),
+                    sub(field("a", &[0, 0, 1]), field("a", &[0, 0, 0])),
+                ),
+            ),
+        }],
+    };
+    kernel.validate().expect("kernel is well-formed");
+    println!(
+        "built kernel `{}` programmatically: {} compute(s), rank {}",
+        kernel.name,
+        kernel.computes.len(),
+        kernel.rank()
+    );
+
+    let compiled = compile_kernel(kernel, &CompileOptions::default()).expect("compiles");
+    println!("  HLS function   : {}", compiled.hls_name());
+    println!("  streams        : {}", compiled.report.streams);
+    println!(
+        "  local copies   : {:?} (param `kappa` into BRAM)",
+        compiled.report.local_copies
+    );
+
+    // Run on the simulator with a linear-ramp input; check one point by
+    // hand.
+    let mut a = shmls_ir::interp::Buffer::zeroed(vec![14, 12, 10], vec![-1, -1, -1]);
+    for p in shmls_ir::interp::iter_box(&[-1, -1, -1], &[13, 11, 9]) {
+        a.store(&p, (p[0] * 100 + p[1] * 10 + p[2]) as f64).unwrap();
+    }
+    let mut kappa = shmls_ir::interp::Buffer::zeroed(vec![10], vec![0]);
+    for k in 0..10 {
+        kappa.store(&[k], 0.1 * k as f64).unwrap();
+    }
+    let data = KernelData::default()
+        .buffer("a", a.clone())
+        .buffer("kappa", kappa.clone())
+        .scalar("c", 2.0);
+
+    let reference = run_stencil(&compiled, &data).unwrap();
+    let (dataflow, _) = run_hls(&compiled, &data).unwrap();
+
+    let (i, j, k) = (5i64, 5i64, 5i64);
+    let expect = 2.0 * (a.load(&[i, j, k]).unwrap() - a.load(&[i - 1, j, k]).unwrap())
+        + kappa.load(&[k + 1]).unwrap()
+            * (a.load(&[i, j, k + 1]).unwrap() - a.load(&[i, j, k]).unwrap());
+    let got = dataflow["out"].load(&[i, j, k]).unwrap();
+    println!("\nout[{i},{j},{k}]: dataflow = {got}, hand-computed = {expect}");
+    assert_eq!(got, reference["out"].load(&[i, j, k]).unwrap());
+    assert!((got - expect).abs() < 1e-12);
+    println!("OK: builder-API kernel compiles and matches hand-computed values.");
+}

@@ -1,0 +1,73 @@
+//! Quickstart: compile a stencil kernel to an FPGA dataflow design and run
+//! it on the simulator.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use stencil_hmls::runner::{run_hls, run_stencil, KernelData};
+use stencil_hmls::{compile, CompileOptions};
+
+const KERNEL: &str = r#"
+// A 2D 5-point smoother over a 32x32 grid.
+kernel smooth {
+  grid(32, 32)
+  halo 1
+
+  field a : input
+  field b : output
+  const w
+
+  compute b {
+    b = a[0,0] + w * (a[-1,0] + a[1,0] + a[0,-1] + a[0,1] - 4.0 * a[0,0])
+  }
+}
+"#;
+
+fn main() {
+    // 1. Compile: DSL → stencil dialect → HLS dataflow design (plus the
+    //    CPU reference and the annotated-LLVM path).
+    let compiled = compile(KERNEL, &CompileOptions::default()).expect("kernel compiles");
+    println!("compiled kernel `{}`", compiled.kernel.name);
+    println!(
+        "  dataflow stages : {}",
+        compiled.report.compute_stages
+            + compiled.report.dup_stages
+            + compiled.report.shift_buffers
+            + 2
+    );
+    println!("  streams         : {}", compiled.report.streams);
+    println!("  window elements : {}", compiled.report.window_elems);
+    println!("  AXI bundles     : {:?}", compiled.report.bundles);
+
+    // 2. Prepare input data: a halo-padded 34x34 buffer.
+    let mut a = shmls_ir::interp::Buffer::zeroed(vec![34, 34], vec![-1, -1]);
+    for i in -1..33i64 {
+        for j in -1..33i64 {
+            a.store(&[i, j], ((i * 31 + j * 17) % 100) as f64 / 10.0)
+                .unwrap();
+        }
+    }
+    let data = KernelData::default().buffer("a", a).scalar("w", 0.25);
+
+    // 3. Run the reference stencil semantics and the dataflow design.
+    let reference = run_stencil(&compiled, &data).expect("reference runs");
+    let (dataflow, (streams, elements, beats)) = run_hls(&compiled, &data).expect("dataflow runs");
+
+    // 4. Compare.
+    let max_diff: f64 = (0..32)
+        .flat_map(|i| (0..32).map(move |j| (i, j)))
+        .map(|(i, j)| {
+            (reference["b"].load(&[i, j]).unwrap() - dataflow["b"].load(&[i, j]).unwrap()).abs()
+        })
+        .fold(0.0, f64::max);
+    println!("\nsimulated dataflow execution:");
+    println!("  {streams} streams carried {elements} elements, {beats} 512-bit memory beats");
+    println!("  max |dataflow - reference| = {max_diff:.3e}");
+    println!("  b[16,16] = {:.6}", dataflow["b"].load(&[16, 16]).unwrap());
+    assert!(
+        max_diff < 1e-12,
+        "dataflow design must match reference semantics"
+    );
+    println!("\nOK: the generated dataflow design reproduces the stencil semantics.");
+}

@@ -1,0 +1,292 @@
+//! Baseline comparison: the paper's §4 relative results must hold in our
+//! models — who wins, by roughly what factor, and which frameworks fail
+//! in which way. Absolute MPt/s are not asserted (our substrate is a
+//! simulator, not the authors' testbed); the *shape* is.
+
+use shmls_baselines::{
+    DaceModel, EvalContext, FrameworkModel, Outcome, SodaOptModel, StencilFlowModel,
+    StencilHmlsModel, VitisHlsModel,
+};
+use shmls_kernels::{pw_advection, pw_sizes, tracer_advection, tracer_sizes};
+use stencil_hmls::{compile, CompileOptions, TargetPath};
+
+fn profile_for(source: &str) -> shmls_baselines::KernelProfile {
+    let opts = CompileOptions {
+        paths: TargetPath::HlsOnly,
+        ..Default::default()
+    };
+    let compiled = compile(source, &opts).unwrap();
+    shmls_baselines::KernelProfile::from_compiled(&compiled).unwrap()
+}
+
+#[test]
+fn pw_8m_ordering_and_speedup_match_paper() {
+    let size = &pw_sizes()[0];
+    let g = size.grid;
+    let profile = profile_for(&pw_advection::source(g[0], g[1], g[2]));
+    let eval = EvalContext::default();
+
+    let hmls = StencilHmlsModel::default()
+        .evaluate(&profile, &eval)
+        .measurement()
+        .cloned()
+        .expect("HMLS completes");
+    let dace = DaceModel
+        .evaluate(&profile, &eval)
+        .measurement()
+        .cloned()
+        .expect("DaCe completes");
+    let soda = SodaOptModel
+        .evaluate(&profile, &eval)
+        .measurement()
+        .cloned()
+        .unwrap();
+    let vitis = VitisHlsModel
+        .evaluate(&profile, &eval)
+        .measurement()
+        .cloned()
+        .unwrap();
+
+    // 4 compute units from the 32-port budget at 7 ports/CU (§4).
+    assert_eq!(hmls.cus, 4);
+
+    // Figure 4 ordering: Stencil-HMLS ≫ DaCe > Vitis ≥ SODA.
+    assert!(hmls.mpts > dace.mpts);
+    assert!(
+        dace.mpts > vitis.mpts,
+        "DaCe {} vs Vitis {}",
+        dace.mpts,
+        vitis.mpts
+    );
+    assert!(
+        vitis.mpts > soda.mpts,
+        "Vitis {} vs SODA {}",
+        vitis.mpts,
+        soda.mpts
+    );
+
+    // "90 and 100 times faster than … DaCe" — accept the 50–150 band.
+    let speedup = hmls.mpts / dace.mpts;
+    assert!(
+        (50.0..150.0).contains(&speedup),
+        "HMLS/DaCe speedup {speedup} outside the paper's magnitude"
+    );
+
+    // StencilFlow: builds, then deadlocks (§4).
+    match StencilFlowModel.evaluate(&profile, &eval) {
+        Outcome::RuntimeDeadlock { .. } => {}
+        other => panic!("expected StencilFlow deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn pw_134m_drops_dace_and_stencilflow() {
+    let size = &pw_sizes()[2];
+    let g = size.grid;
+    let profile = profile_for(&pw_advection::source(g[0], g[1], g[2]));
+    let eval = EvalContext::default();
+
+    // Stencil-HMLS handles the largest size (Figure 4 has the bar).
+    assert!(StencilHmlsModel::default()
+        .evaluate(&profile, &eval)
+        .measurement()
+        .is_some());
+    // "the numbers for the largest size in PW advection are missing for
+    // DaCe since it fails to compile".
+    match DaceModel.evaluate(&profile, &eval) {
+        Outcome::CompileError(reason) => {
+            assert!(reason.contains("multi-bank"), "{reason}");
+        }
+        other => panic!("expected DaCe compile failure at 134M, got {other:?}"),
+    }
+    // StencilFlow shares the limitation (built atop DaCe).
+    assert!(matches!(
+        StencilFlowModel.evaluate(&profile, &eval),
+        Outcome::CompileError(_)
+    ));
+}
+
+#[test]
+fn tracer_relative_results_match_paper() {
+    let size = &tracer_sizes()[0];
+    let g = size.grid;
+    let profile = profile_for(&tracer_advection::source(g[0], g[1], g[2]));
+    let eval = EvalContext::default();
+
+    let hmls = StencilHmlsModel::default()
+        .evaluate(&profile, &eval)
+        .measurement()
+        .cloned()
+        .unwrap();
+    let dace = DaceModel
+        .evaluate(&profile, &eval)
+        .measurement()
+        .cloned()
+        .unwrap();
+    let soda = SodaOptModel
+        .evaluate(&profile, &eval)
+        .measurement()
+        .cloned()
+        .unwrap();
+    let vitis = VitisHlsModel
+        .evaluate(&profile, &eval)
+        .measurement()
+        .cloned()
+        .unwrap();
+
+    // Single CU (17 ports exceed half the 32-port budget).
+    assert_eq!(hmls.cus, 1);
+
+    // "between 14 and 21 times faster than DaCe" — accept 8–30.
+    let speedup = hmls.mpts / dace.mpts;
+    assert!(
+        (8.0..30.0).contains(&speedup),
+        "HMLS/DaCe tracer speedup {speedup} outside the paper's magnitude"
+    );
+
+    // "SODA-opt achieves an II of 164 and Vitis HLS of 163": comparable,
+    // large IIs with SODA marginally worse.
+    assert!((100.0..260.0).contains(&vitis.ii), "Vitis II {}", vitis.ii);
+    assert!(
+        soda.ii >= vitis.ii,
+        "SODA II {} vs Vitis II {}",
+        soda.ii,
+        vitis.ii
+    );
+    let perf_gap = vitis.mpts / soda.mpts;
+    assert!(
+        perf_gap < 1.2,
+        "SODA and Vitis should be comparable, gap {perf_gap}"
+    );
+
+    // "tracer advection could not be expressed in StencilFlow due to the
+    // lack of support for subselections".
+    assert!(matches!(
+        StencilFlowModel.evaluate(&profile, &eval),
+        Outcome::Inexpressible(_)
+    ));
+}
+
+#[test]
+fn energy_results_match_paper_shape() {
+    // Figures 5/6: Stencil-HMLS draws marginally more power but consumes
+    // far less energy than every other framework.
+    for (source, band) in [
+        (pw_advection::source(256, 256, 128), (40.0, 150.0)),
+        (tracer_advection::source(256, 256, 128), (8.0, 40.0)),
+    ] {
+        let profile = profile_for(&source);
+        let eval = EvalContext::default();
+        let hmls = StencilHmlsModel::default()
+            .evaluate(&profile, &eval)
+            .measurement()
+            .cloned()
+            .unwrap();
+        let dace = DaceModel
+            .evaluate(&profile, &eval)
+            .measurement()
+            .cloned()
+            .unwrap();
+        let soda = SodaOptModel
+            .evaluate(&profile, &eval)
+            .measurement()
+            .cloned()
+            .unwrap();
+        let vitis = VitisHlsModel
+            .evaluate(&profile, &eval)
+            .measurement()
+            .cloned()
+            .unwrap();
+
+        // Energy: HMLS lowest by a large factor vs DaCe (the next best).
+        let ratio = dace.joules / hmls.joules;
+        assert!(
+            ratio > band.0 * 0.3 && ratio < band.1 * 2.0,
+            "energy ratio {ratio} vs expected band {band:?}"
+        );
+        assert!(hmls.joules < soda.joules && hmls.joules < vitis.joules);
+        // DaCe is the next most energy efficient.
+        assert!(dace.joules < soda.joules && dace.joules < vitis.joules);
+        // Power: HMLS draw is higher (it actually uses the card).
+        assert!(
+            hmls.watts >= dace.watts * 0.95,
+            "{} vs {}",
+            hmls.watts,
+            dace.watts
+        );
+        // All power draws in a plausible card band.
+        for m in [&hmls, &dace, &soda, &vitis] {
+            assert!(m.watts > 20.0 && m.watts < 60.0, "power {}", m.watts);
+        }
+    }
+}
+
+#[test]
+fn resource_tables_match_paper_shape() {
+    // Tables 1/2 orderings.
+    let profile = profile_for(&pw_advection::source(256, 256, 128));
+    let eval = EvalContext::default();
+    let hmls = StencilHmlsModel::default().evaluate(&profile, &eval);
+    let dace = DaceModel.evaluate(&profile, &eval);
+    let soda = SodaOptModel.evaluate(&profile, &eval);
+    let vitis = VitisHlsModel.evaluate(&profile, &eval);
+    let sf = StencilFlowModel.evaluate(&profile, &eval);
+
+    let [h_lut, _h_ff, h_bram, h_dsp] = hmls.resource_pct().unwrap();
+    let [d_lut, _d_ff, d_bram, _d_dsp] = dace.resource_pct().unwrap();
+    let [s_lut, _s_ff, s_bram, _s_dsp] = soda.resource_pct().unwrap();
+    let [v_lut, _v_ff, v_bram, _v_dsp] = vitis.resource_pct().unwrap();
+    let [f_lut, _f_ff, f_bram, f_dsp] = sf.resource_pct().unwrap();
+
+    // BRAM: shift buffers + local copies make HMLS the BRAM-heavy design;
+    // SODA/Vitis have essentially none (Table 1: 14.29 vs 5.51 vs 0.10).
+    assert!(h_bram > d_bram, "HMLS {h_bram}% vs DaCe {d_bram}%");
+    assert!(d_bram > s_bram && d_bram > v_bram);
+    assert!(s_bram < 1.0 && v_bram < 1.0);
+
+    // LUTs: DaCe's generated control exceeds HMLS (8.35 vs 4.30); the
+    // unoptimised flows are smallest.
+    assert!(d_lut > h_lut, "DaCe {d_lut}% vs HMLS {h_lut}%");
+    assert!(s_lut < h_lut && v_lut < h_lut);
+
+    // StencilFlow sits just above HMLS with much heavier DSP usage
+    // (Table 1: 3.67 vs 1.31).
+    assert!(f_lut >= h_lut && f_bram >= h_bram);
+    assert!(
+        f_dsp > 2.0 * h_dsp,
+        "StencilFlow DSP {f_dsp}% vs HMLS {h_dsp}%"
+    );
+
+    // Magnitudes: every utilisation stays under 100% and HMLS PW sits in
+    // the paper's ballpark (LUT ~4%, BRAM ~14%).
+    assert!((1.0..12.0).contains(&h_lut), "HMLS LUT {h_lut}%");
+    assert!((5.0..30.0).contains(&h_bram), "HMLS BRAM {h_bram}%");
+}
+
+#[test]
+fn resource_growth_with_problem_size_is_small_data_driven() {
+    // Table 1: Stencil-HMLS utilisation varies (slightly) with problem
+    // size "due to the copies of the small data areas into local memory".
+    let eval = EvalContext::default();
+    let mut bram = Vec::new();
+    let mut uram = Vec::new();
+    for size in pw_sizes() {
+        let g = size.grid;
+        let profile = profile_for(&pw_advection::source(g[0], g[1], g[2]));
+        let m = StencilHmlsModel::default()
+            .evaluate(&profile, &eval)
+            .measurement()
+            .cloned()
+            .unwrap();
+        bram.push(m.resources.bram36);
+        uram.push(m.resources.uram);
+    }
+    // The shift registers grow with the plane size: BRAM from 8M to 32M,
+    // then the buffers spill to UltraRAM at 134M (step 8's "BRAM or URAM").
+    assert!(bram[1] > bram[0], "bram {bram:?}");
+    assert!(uram[2] > uram[1], "uram {uram:?}");
+    // Every size fits the device (the paper runs all three).
+    let device = shmls_fpga_sim::device::Device::u280();
+    assert!(bram.iter().all(|&b| b <= device.bram36), "{bram:?}");
+    assert!(uram.iter().all(|&u| u <= device.uram), "{uram:?}");
+}

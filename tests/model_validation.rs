@@ -1,0 +1,93 @@
+//! Model validation: the analytic performance model (closed-form makespan)
+//! must agree with the cycle-stepped Kahn simulation (token-level FIFO
+//! dynamics) on real compiled designs — the analytic numbers behind
+//! Figures 4–6 are only trustworthy because of this agreement.
+
+use shmls_fpga_sim::cycle;
+use shmls_fpga_sim::design::DesignDescriptor;
+use shmls_fpga_sim::device::Device;
+use shmls_fpga_sim::perf::hmls_estimate;
+use stencil_hmls::{compile, CompileOptions, TargetPath};
+
+fn design_for(source: &str) -> DesignDescriptor {
+    let opts = CompileOptions {
+        paths: TargetPath::HlsOnly,
+        ..Default::default()
+    };
+    let compiled = compile(source, &opts).unwrap();
+    DesignDescriptor::from_hls_func(&compiled.ctx, compiled.hls_func).unwrap()
+}
+
+fn check_agreement(name: &str, source: &str, tolerance: f64) {
+    let design = design_for(source);
+    let device = Device::u280();
+    let analytic = hmls_estimate(&design, &device, 1);
+    let stepped = cycle::simulate(&design, None);
+    let ratio = stepped.cycles as f64 / analytic.cycles as f64;
+    assert!(
+        (1.0 - tolerance..1.0 + tolerance).contains(&ratio),
+        "{name}: cycle-stepped {} vs analytic {} (ratio {ratio:.3})",
+        stepped.cycles,
+        analytic.cycles
+    );
+}
+
+#[test]
+fn laplace_models_agree() {
+    check_agreement(
+        "laplace3d",
+        &shmls_kernels::laplace::source_3d(24, 24, 16),
+        0.15,
+    );
+}
+
+#[test]
+fn pw_advection_models_agree() {
+    check_agreement(
+        "pw_advection",
+        &shmls_kernels::pw_advection::source(24, 20, 12),
+        0.15,
+    );
+}
+
+#[test]
+fn tracer_advection_models_agree() {
+    check_agreement(
+        "tracer_advection",
+        &shmls_kernels::tracer_advection::source(16, 14, 10),
+        0.20,
+    );
+}
+
+#[test]
+fn cycle_sim_counts_every_token() {
+    // Conservation: compute stages fire exactly once per interior point,
+    // the write stage drains every result.
+    let design = design_for(&shmls_kernels::pw_advection::source(12, 10, 8));
+    let report = cycle::simulate(&design, None);
+    let points = design.interior_points;
+    for (i, stage) in design.stages.iter().enumerate() {
+        if let shmls_fpga_sim::design::Stage::Compute { trips, .. } = stage {
+            assert_eq!(report.fires[i], *trips);
+            assert_eq!(*trips, points);
+        }
+        if let shmls_fpga_sim::design::Stage::Write {
+            elements_per_field, ..
+        } = stage
+        {
+            assert_eq!(report.fires[i], *elements_per_field);
+        }
+    }
+}
+
+#[test]
+fn shallow_fifos_slow_but_do_not_deadlock() {
+    // The generated designs are deadlock-free even at FIFO depth 1 — the
+    // property StencilFlow lacked on these benchmarks.
+    let design = design_for(&shmls_kernels::pw_advection::source(10, 8, 6));
+    let deep = cycle::simulate(&design, None);
+    let shallow = cycle::simulate(&design, Some(1));
+    assert!(shallow.cycles >= deep.cycles);
+    let last = design.stages.len() - 1;
+    assert_eq!(shallow.fires[last], deep.fires[last]);
+}

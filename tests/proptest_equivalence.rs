@@ -1,0 +1,417 @@
+//! End-to-end property test: for *randomly generated* stencil kernels and
+//! random input data, every execution path must agree exactly —
+//!
+//! 1. direct stencil-dialect interpretation,
+//! 2. the Von-Neumann CPU loop lowering,
+//! 3. the Stencil-HMLS dataflow design on the sequential Kahn engine,
+//! 4. the same compile with canonicalisation disabled.
+//!
+//! This exercises the whole compiler (frontend lowering, canonicalise,
+//! the nine HMLS steps, shift buffers, stream duplication, producer
+//! chaining, small-data localisation) over a far broader kernel space
+//! than the hand-written benchmarks.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use shmls_frontend::ast::build;
+use shmls_frontend::{
+    ComputeDef, ConstDecl, Expr, FieldDecl, FieldKind, Intrinsic, KernelDef, ParamDecl,
+};
+use shmls_ir::interp::Buffer;
+use stencil_hmls::runner::{run_cpu, run_hls, run_stencil, KernelData};
+use stencil_hmls::{compile_kernel, CompileOptions, TargetPath};
+
+/// Recipe for one expression node (resolved against the kernel's declared
+/// names during construction).
+#[derive(Debug, Clone)]
+enum ExprRecipe {
+    Lit(i32),
+    Input {
+        field: prop::sample::Index,
+        offset: prop::sample::Index,
+    },
+    Computed {
+        which: prop::sample::Index,
+    },
+    Param {
+        offset: i8,
+    },
+    Const,
+    Bin {
+        op: u8,
+        lhs: Box<ExprRecipe>,
+        rhs: Box<ExprRecipe>,
+    },
+    Neg(Box<ExprRecipe>),
+    Unary {
+        f: u8,
+        arg: Box<ExprRecipe>,
+    },
+    Binary2 {
+        f: u8,
+        lhs: Box<ExprRecipe>,
+        rhs: Box<ExprRecipe>,
+    },
+}
+
+fn arb_expr() -> impl Strategy<Value = ExprRecipe> {
+    let leaf = prop_oneof![
+        (-30i32..30).prop_map(ExprRecipe::Lit),
+        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
+            .prop_map(|(field, offset)| ExprRecipe::Input { field, offset }),
+        any::<prop::sample::Index>().prop_map(|which| ExprRecipe::Computed { which }),
+        (-1i8..2).prop_map(|offset| ExprRecipe::Param { offset }),
+        Just(ExprRecipe::Const),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (0u8..3, inner.clone(), inner.clone()).prop_map(|(op, l, r)| ExprRecipe::Bin {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r)
+            }),
+            inner.clone().prop_map(|e| ExprRecipe::Neg(Box::new(e))),
+            (0u8..1, inner.clone()).prop_map(|(f, a)| ExprRecipe::Unary {
+                f,
+                arg: Box::new(a)
+            }),
+            (0u8..3, inner.clone(), inner).prop_map(|(f, l, r)| ExprRecipe::Binary2 {
+                f,
+                lhs: Box::new(l),
+                rhs: Box::new(r)
+            }),
+        ]
+    })
+}
+
+#[derive(Debug, Clone)]
+struct KernelRecipe {
+    rank: usize,
+    dims: Vec<i64>,
+    n_inputs: usize,
+    n_temps: usize,
+    n_outputs: usize,
+    has_param: bool,
+    has_const: bool,
+    exprs: Vec<ExprRecipe>,
+    seed: u64,
+}
+
+fn arb_kernel() -> impl Strategy<Value = KernelRecipe> {
+    (
+        1usize..4,
+        1usize..4,
+        0usize..3,
+        1usize..3,
+        any::<bool>(),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_flat_map(
+            |(rank, n_inputs, n_temps, n_outputs, has_param, has_const, seed)| {
+                let n_computes = n_temps + n_outputs;
+                (
+                    prop::collection::vec(3i64..6, rank),
+                    prop::collection::vec(arb_expr(), n_computes),
+                )
+                    .prop_map(move |(dims, exprs)| KernelRecipe {
+                        rank,
+                        dims,
+                        n_inputs,
+                        n_temps,
+                        n_outputs,
+                        has_param,
+                        has_const,
+                        exprs,
+                        seed,
+                    })
+            },
+        )
+}
+
+/// Resolve a recipe into a valid expression for compute number `k`
+/// (temps are computed before outputs, so computes 0..k are readable).
+fn resolve(recipe: &ExprRecipe, r: &KernelRecipe, k: usize) -> Expr {
+    match recipe {
+        ExprRecipe::Lit(v) => build::num(*v as f64 / 4.0),
+        ExprRecipe::Input { field, offset } => {
+            let f = field.index(r.n_inputs);
+            // Offsets: one axis gets -1/0/1, the rest 0.
+            let mut offsets = vec![0i64; r.rank];
+            let pick = offset.index(r.rank * 3);
+            offsets[pick / 3] = (pick % 3) as i64 - 1;
+            build::field(&format!("in{f}"), &offsets)
+        }
+        ExprRecipe::Computed { which } => {
+            if k == 0 {
+                build::field("in0", &vec![0i64; r.rank])
+            } else {
+                let c = which.index(k);
+                build::field(&compute_name(r, c), &vec![0i64; r.rank])
+            }
+        }
+        ExprRecipe::Param { offset } => {
+            if r.has_param {
+                build::param("coef", *offset as i64)
+            } else {
+                build::num(0.5)
+            }
+        }
+        ExprRecipe::Const => {
+            if r.has_const {
+                build::cst("alpha")
+            } else {
+                build::num(1.5)
+            }
+        }
+        ExprRecipe::Bin { op, lhs, rhs } => {
+            let l = resolve(lhs, r, k);
+            let rr = resolve(rhs, r, k);
+            match op % 3 {
+                0 => build::add(l, rr),
+                1 => build::sub(l, rr),
+                _ => build::mul(l, rr),
+            }
+        }
+        ExprRecipe::Neg(e) => build::neg(resolve(e, r, k)),
+        ExprRecipe::Unary { f, arg } => {
+            let a = resolve(arg, r, k);
+            let _ = f;
+            build::call(Intrinsic::Abs, vec![a])
+        }
+        ExprRecipe::Binary2 { f, lhs, rhs } => {
+            let l = resolve(lhs, r, k);
+            let rr = resolve(rhs, r, k);
+            let intrinsic = match f % 3 {
+                0 => Intrinsic::Min,
+                1 => Intrinsic::Max,
+                _ => Intrinsic::Sign,
+            };
+            build::call(intrinsic, vec![l, rr])
+        }
+    }
+}
+
+fn compute_name(r: &KernelRecipe, index: usize) -> String {
+    if index < r.n_temps {
+        format!("t{index}")
+    } else {
+        format!("out{}", index - r.n_temps)
+    }
+}
+
+fn build_kernel(r: &KernelRecipe) -> KernelDef {
+    let mut fields = Vec::new();
+    for i in 0..r.n_inputs {
+        fields.push(FieldDecl {
+            name: format!("in{i}"),
+            kind: FieldKind::Input,
+        });
+    }
+    for t in 0..r.n_temps {
+        fields.push(FieldDecl {
+            name: format!("t{t}"),
+            kind: FieldKind::Temp,
+        });
+    }
+    for o in 0..r.n_outputs {
+        fields.push(FieldDecl {
+            name: format!("out{o}"),
+            kind: FieldKind::Output,
+        });
+    }
+    let params = if r.has_param {
+        vec![ParamDecl {
+            name: "coef".into(),
+            axis: r.rank - 1,
+        }]
+    } else {
+        vec![]
+    };
+    let consts = if r.has_const {
+        vec![ConstDecl {
+            name: "alpha".into(),
+        }]
+    } else {
+        vec![]
+    };
+    let computes = (0..r.n_temps + r.n_outputs)
+        .map(|k| ComputeDef {
+            target: compute_name(r, k),
+            expr: resolve(&r.exprs[k], r, k),
+        })
+        .collect();
+    KernelDef {
+        name: "random_kernel".into(),
+        grid: r.dims.clone(),
+        halo: 1,
+        fields,
+        params,
+        consts,
+        computes,
+    }
+}
+
+/// Deterministic fill values in a small range (keeps sign/abs/min/max
+/// branches exercised without overflow).
+fn fill(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2000) as f64 - 1000.0) / 250.0
+        })
+        .collect()
+}
+
+fn make_data(kernel: &KernelDef, seed: u64) -> KernelData {
+    let bounded = shmls_ir::types::StencilBounds::from_extents(&kernel.grid).grown(kernel.halo);
+    let mut data = KernelData::default();
+    let mut s = seed;
+    for f in &kernel.fields {
+        if f.kind == FieldKind::Input {
+            let mut buf = Buffer::zeroed(bounded.extents(), bounded.lb.clone());
+            let values = fill(s, buf.data.len());
+            buf.data.copy_from_slice(&values);
+            s = s.wrapping_add(0x9E3779B9);
+            data = data.buffer(&f.name, buf);
+        }
+    }
+    for p in &kernel.params {
+        let extent = kernel.grid[p.axis] + 2 * kernel.halo;
+        let mut buf = Buffer::zeroed(vec![extent], vec![0]);
+        let values = fill(s, buf.data.len());
+        buf.data.copy_from_slice(&values);
+        s = s.wrapping_add(0x9E3779B9);
+        data = data.buffer(&p.name, buf);
+    }
+    for c in &kernel.consts {
+        data = data.scalar(&c.name, ((s % 17) as f64 - 8.0) / 4.0);
+    }
+    data
+}
+
+fn outputs_equal(
+    a: &BTreeMap<String, Buffer>,
+    b: &BTreeMap<String, Buffer>,
+    kernel: &KernelDef,
+) -> Result<(), String> {
+    let lb = vec![0i64; kernel.rank()];
+    let ub = kernel.grid.clone();
+    for (name, ba) in a {
+        let bb = b
+            .get(name)
+            .ok_or_else(|| format!("missing output `{name}`"))?;
+        for p in shmls_ir::interp::iter_box(&lb, &ub) {
+            let va = ba.load(&p).map_err(|e| e.to_string())?;
+            let vb = bb.load(&p).map_err(|e| e.to_string())?;
+            if va.to_bits() != vb.to_bits() && (va - vb).abs() > 1e-12 {
+                return Err(format!("`{name}` at {p:?}: {va} vs {vb}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_paths_agree_on_random_kernels(recipe in arb_kernel()) {
+        let kernel = build_kernel(&recipe);
+        kernel.validate().expect("generated kernel must be valid");
+        let data = make_data(&kernel, recipe.seed);
+
+        let compiled = compile_kernel(
+            kernel.clone(),
+            &CompileOptions { paths: TargetPath::HlsAndCpu, ..Default::default() },
+        )
+        .expect("random kernel compiles");
+
+        let reference = run_stencil(&compiled, &data).expect("stencil path runs");
+        let cpu = run_cpu(&compiled, &data).expect("cpu path runs");
+        let (hls, _) = run_hls(&compiled, &data).expect("hls path runs");
+
+        outputs_equal(&reference, &cpu, &kernel)
+            .map_err(|e| TestCaseError::fail(format!("cpu mismatch: {e}")))?;
+        outputs_equal(&reference, &hls, &kernel)
+            .map_err(|e| TestCaseError::fail(format!("hls mismatch: {e}")))?;
+
+        // The CPU-favoured fuse and its FPGA split must round-trip
+        // semantically: fuse all applies, split them back, rebuild the
+        // dataflow design, and compare against the reference.
+        {
+            use shmls_dialects::builtin::create_module;
+            use shmls_frontend::lower_kernel;
+            let mut ctx = shmls_ir::ir::Context::new();
+            let (module, body) = create_module(&mut ctx);
+            let lowered = lower_kernel(&mut ctx, body, &kernel).expect("lowers");
+            stencil_hmls::fuse::fuse_applies(&mut ctx, lowered.func).expect("fuses");
+            stencil_hmls::split::split_applies(&mut ctx, module).expect("splits");
+            shmls_ir::verifier::verify_with(&ctx, module, &shmls_dialects::registry())
+                .expect("verifies after fuse+split");
+            // Interpret the fused+split stencil function directly.
+            let mut no = shmls_ir::interp::NoExtern;
+            let mut machine = shmls_ir::interp::Machine::new(&ctx, module, &mut no);
+            let mut args = Vec::new();
+            let mut handles = std::collections::BTreeMap::new();
+            let bounded = shmls_ir::types::StencilBounds::from_extents(&kernel.grid)
+                .grown(kernel.halo);
+            for arg in &compiled.signature.args {
+                match arg {
+                    shmls_frontend::KernelArg::Field(name, _) => {
+                        let buffer = data.buffers.get(name).cloned().unwrap_or_else(|| {
+                            Buffer::zeroed(bounded.extents(), bounded.lb.clone())
+                        });
+                        let h = machine.store.alloc(buffer);
+                        handles.insert(name.clone(), h);
+                        args.push(shmls_ir::interp::RtValue::MemRef(h));
+                    }
+                    shmls_frontend::KernelArg::Param(name, _, extent) => {
+                        let buffer = data
+                            .buffers
+                            .get(name)
+                            .cloned()
+                            .unwrap_or_else(|| Buffer::zeroed(vec![*extent], vec![0]));
+                        args.push(shmls_ir::interp::RtValue::MemRef(machine.store.alloc(buffer)));
+                    }
+                    shmls_frontend::KernelArg::Const(name) => {
+                        args.push(shmls_ir::interp::RtValue::F64(data.scalars[name]));
+                    }
+                }
+            }
+            machine.call(&kernel.name, &args).expect("fused+split runs");
+            let mut fused_out = BTreeMap::new();
+            for arg in &compiled.signature.args {
+                if let shmls_frontend::KernelArg::Field(name, kind) = arg {
+                    if matches!(
+                        kind,
+                        shmls_frontend::FieldKind::Output | shmls_frontend::FieldKind::InOut
+                    ) {
+                        fused_out
+                            .insert(name.clone(), machine.store.get(handles[name]).unwrap().clone());
+                    }
+                }
+            }
+            outputs_equal(&reference, &fused_out, &kernel)
+                .map_err(|e| TestCaseError::fail(format!("fuse+split mismatch: {e}")))?;
+        }
+
+        // Canonicalisation must not change semantics.
+        let unopt = compile_kernel(
+            kernel.clone(),
+            &CompileOptions {
+                paths: TargetPath::HlsOnly,
+                optimize: false,
+                ..Default::default()
+            },
+        )
+        .expect("unoptimised compile");
+        let (hls_unopt, _) = run_hls(&unopt, &data).expect("unoptimised hls runs");
+        outputs_equal(&reference, &hls_unopt, &kernel)
+            .map_err(|e| TestCaseError::fail(format!("canonicalise changed values: {e}")))?;
+    }
+}
