@@ -64,10 +64,12 @@ fn validate() -> String {
         out.push_str(&format!(
             "    sequential engine: {streams} streams, {pushed} elements, {beats} mem beats\n"
         ));
-        out.push_str(&format!(
-            "    threaded engine (bounded FIFOs): {}\n",
-            check(threaded.is_some())
-        ));
+        match &threaded {
+            Ok(_) => out.push_str("    threaded engine (bounded FIFOs): PASS\n"),
+            Err(report) => out.push_str(&format!(
+                "    threaded engine (bounded FIFOs): FAIL\n{report}"
+            )),
+        }
     }
     // Tracer advection.
     {

@@ -443,7 +443,8 @@ pub fn cycles(_eval: &EvalContext) -> String {
         )
         .expect("extracts");
         let analytic = shmls_fpga_sim::perf::hmls_estimate(&design, &device, 1);
-        let stepped = shmls_fpga_sim::cycle::simulate(&design, None);
+        let stepped = shmls_fpga_sim::cycle::simulate(&design, None)
+            .expect("generated designs are deadlock-free at declared depths");
         writeln!(
             out,
             "  {:<18} {:>10} {:>12} {:>12} {:>7.3}",

@@ -323,7 +323,12 @@ pub fn explore_stream_depths(
     let mut choices: Vec<DepthChoice> = depths
         .iter()
         .map(|&depth| {
-            let report = shmls_fpga_sim::cycle::simulate(design, Some(depth));
+            // A depth that deadlocks is unusable: rank it infinitely slow
+            // so it can never be recommended.
+            let cycles = match shmls_fpga_sim::cycle::simulate(design, Some(depth)) {
+                Ok(report) => report.cycles,
+                Err(_) => u64::MAX,
+            };
             let fifo_bram: u64 = design
                 .streams
                 .iter()
@@ -331,7 +336,7 @@ pub fn explore_stream_depths(
                 .sum();
             DepthChoice {
                 depth,
-                cycles: report.cycles,
+                cycles,
                 slowdown: 0.0,
                 fifo_bram,
             }

@@ -14,7 +14,9 @@
 //! - [`shift_buffer`] — window geometry shared by transform, runtime and
 //!   resource model (steps 3/5, Figure 2).
 //! - [`hmls`] — the stencil→HLS dataflow construction (steps 2–9,
-//!   Figure 3).
+//!   Figure 3), including dead compute-stage pruning.
+//! - [`connectivity`] — post-transform stream-graph verification: every
+//!   FIFO must have a producer and a consumer or the design deadlocks.
 //! - [`cpu_lowering`] — the reference Von-Neumann lowering (baseline
 //!   structure, golden path).
 //! - [`llvm_lowering`] — HLS dialect → annotation-encoded LLVM dialect.
@@ -59,6 +61,7 @@
 
 pub mod canonicalize;
 pub mod classify;
+pub mod connectivity;
 pub mod cpu_lowering;
 pub mod driver;
 pub mod dse;

@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use shmls_fpga_sim::deadlock::DeadlockReport;
 use shmls_fpga_sim::executor::execute_hls_kernel;
 use shmls_fpga_sim::threaded::{execute_threaded, ThreadedOutcome};
 use shmls_frontend::{FieldKind, KernelArg};
@@ -159,12 +160,18 @@ pub fn run_hls(
 }
 
 /// Run the Stencil-HMLS design on the threaded engine (bounded FIFOs, one
-/// thread per stage). Returns `None` when the run deadlocks.
+/// thread per stage).
+///
+/// The outer `IrResult` is for execution *errors* (bad IR, failed calls);
+/// the inner `Result` distinguishes a completed run (the written fields)
+/// from a deadlocked one. A deadlock is never reported silently: the
+/// [`DeadlockReport`] names every blocked stage and the stream (with
+/// occupancy vs. declared depth) it was blocked on.
 pub fn run_hls_threaded(
     compiled: &CompiledKernel,
     data: &KernelData,
     watchdog: Duration,
-) -> IrResult<Option<BTreeMap<String, Buffer>>> {
+) -> IrResult<Result<BTreeMap<String, Buffer>, Box<DeadlockReport>>> {
     let mut handles_out = BTreeMap::new();
     let outcome = execute_threaded(
         &compiled.ctx,
@@ -180,9 +187,9 @@ pub fn run_hls_threaded(
     )?;
     match outcome {
         ThreadedOutcome::Completed { store, .. } => {
-            Ok(Some(collect_outputs(compiled, &store, &handles_out)?))
+            Ok(Ok(collect_outputs(compiled, &store, &handles_out)?))
         }
-        ThreadedOutcome::Deadlock { .. } => Ok(None),
+        ThreadedOutcome::Deadlock { report } => Ok(Err(report)),
     }
 }
 

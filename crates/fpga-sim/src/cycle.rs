@@ -25,6 +25,7 @@
 
 use serde::Serialize;
 
+use crate::deadlock::{DeadlockReport, StageSnapshot, StageStatus, StreamSnapshot};
 use crate::design::{DesignDescriptor, Stage};
 use crate::device::Device;
 
@@ -70,7 +71,16 @@ struct StageState {
 /// deterministic: stages fire in program order within a cycle, consuming
 /// the FIFO states left by the previous cycle (writes become visible the
 /// next cycle, like registered FIFO outputs).
-pub fn simulate(design: &DesignDescriptor, depth_override: Option<usize>) -> CycleReport {
+///
+/// A run that exceeds the cycle budget without every stage finishing is
+/// deadlocked (no legal design needs that many cycles); instead of
+/// panicking, the engine returns a [`DeadlockReport`] naming each blocked
+/// stage, the stream it is blocked on, and how many cycles each stream
+/// spent back-pressuring its producer.
+pub fn simulate(
+    design: &DesignDescriptor,
+    depth_override: Option<usize>,
+) -> Result<CycleReport, Box<DeadlockReport>> {
     assert_eq!(
         design.stages.len(),
         design.wiring.len(),
@@ -144,13 +154,23 @@ pub fn simulate(design: &DesignDescriptor, depth_override: Option<usize>) -> Cyc
             })
             .sum::<u64>();
 
+    // Per-stream back-pressure accounting: cycles a producer spent unable
+    // to push because this stream was full.
+    let mut stream_full_stalls: Vec<u64> = vec![0; design.streams.len()];
+
     let mut cycle: u64 = 0;
     while states.iter().any(|s| s.remaining > 0) {
         cycle += 1;
-        assert!(
-            cycle < budget,
-            "cycle simulation exceeded budget — deadlock?"
-        );
+        if cycle >= budget {
+            return Err(Box::new(diagnose(
+                design,
+                &states,
+                &fifo_len,
+                &fifo_cap,
+                &stream_full_stalls,
+                cycle,
+            )));
+        }
         // Snapshot FIFO levels: fires this cycle see last cycle's state.
         let visible = fifo_len.clone();
         let mut delta = vec![0i64; fifo_len.len()];
@@ -185,6 +205,11 @@ pub fn simulate(design: &DesignDescriptor, depth_override: Option<usize>) -> Cyc
             let outputs_ready = !emits || room.iter().all(|(&s, &k)| visible[s] + k <= fifo_cap[s]);
             if !outputs_ready {
                 report.stalled_full[i] += 1;
+                for (&s, &k) in &room {
+                    if visible[s] + k > fifo_cap[s] {
+                        stream_full_stalls[s] += 1;
+                    }
+                }
                 continue;
             }
             // Fire.
@@ -212,7 +237,76 @@ pub fn simulate(design: &DesignDescriptor, depth_override: Option<usize>) -> Cyc
         }
     }
     report.cycles = cycle;
-    report
+    Ok(report)
+}
+
+/// Human-readable role of a stage, for deadlock snapshots.
+fn stage_kind(stage: &Stage) -> &'static str {
+    match stage {
+        Stage::Load { .. } => "load",
+        Stage::Shift { .. } => "shift",
+        Stage::Dup { .. } => "dup",
+        Stage::Compute { .. } => "compute",
+        Stage::Write { .. } => "write",
+    }
+}
+
+/// Snapshot every stage's state and every FIFO's occupancy for a run that
+/// exceeded its cycle budget.
+fn diagnose(
+    design: &DesignDescriptor,
+    states: &[StageState],
+    fifo_len: &[usize],
+    fifo_cap: &[usize],
+    stream_full_stalls: &[u64],
+    cycle: u64,
+) -> DeadlockReport {
+    let stages = states
+        .iter()
+        .enumerate()
+        .map(|(i, state)| {
+            let stage = format!("stage{i}:{}", stage_kind(&design.stages[i]));
+            let status = if state.remaining == 0 {
+                StageStatus::Finished
+            } else {
+                let wiring = &design.wiring[i];
+                // Re-evaluate the fire conditions against the final FIFO
+                // state: a starved input wins over a full output (the stage
+                // checks inputs first), matching the per-cycle logic.
+                let mut need = std::collections::BTreeMap::<usize, usize>::new();
+                for &s in &wiring.reads {
+                    *need.entry(s).or_default() += 1;
+                }
+                let starved = need.iter().find(|&(&s, &k)| fifo_len[s] < k);
+                let mut room = std::collections::BTreeMap::<usize, usize>::new();
+                for &s in &wiring.writes {
+                    *room.entry(s).or_default() += 1;
+                }
+                let full = room.iter().find(|&(&s, &k)| fifo_len[s] + k > fifo_cap[s]);
+                match (starved, full) {
+                    (Some((&s, _)), _) => StageStatus::BlockedOnPop { stream: s },
+                    (None, Some((&s, _))) => StageStatus::BlockedOnPush { stream: s },
+                    (None, None) => StageStatus::Running,
+                }
+            };
+            StageSnapshot { stage, status }
+        })
+        .collect();
+    let streams = fifo_len
+        .iter()
+        .enumerate()
+        .map(|(s, &occupancy)| StreamSnapshot {
+            stream: s,
+            occupancy,
+            depth: fifo_cap[s],
+            full_stall_cycles: Some(stream_full_stalls[s]),
+        })
+        .collect();
+    DeadlockReport {
+        stages,
+        streams,
+        cycles: Some(cycle),
+    }
 }
 
 /// How many windows are emittable after `consumed` elements: none during
@@ -307,7 +401,7 @@ mod tests {
     #[test]
     fn ii1_linear_pipeline_is_about_n_cycles() {
         let d = linear_design(1000, 1, 1);
-        let r = simulate(&d, None);
+        let r = simulate(&d, None).unwrap();
         // Steady state: one point per cycle, small fill.
         assert!(
             r.cycles >= 1002 && r.cycles < 1100,
@@ -320,8 +414,8 @@ mod tests {
 
     #[test]
     fn ii_scales_cycles() {
-        let fast = simulate(&linear_design(500, 1, 1), None);
-        let slow = simulate(&linear_design(500, 1, 4), None);
+        let fast = simulate(&linear_design(500, 1, 1), None).unwrap();
+        let slow = simulate(&linear_design(500, 1, 4), None).unwrap();
         let ratio = slow.cycles as f64 / fast.cycles as f64;
         assert!(
             (3.5..4.5).contains(&ratio),
@@ -336,8 +430,8 @@ mod tests {
     #[test]
     fn tiny_fifos_still_complete() {
         let d = linear_design(300, 1, 1);
-        let deep = simulate(&d, None);
-        let shallow = simulate(&d, Some(1));
+        let deep = simulate(&d, None).unwrap();
+        let shallow = simulate(&d, Some(1)).unwrap();
         // Depth-1 FIFOs serialise hand-offs but must not deadlock.
         assert!(shallow.cycles >= deep.cycles);
         assert_eq!(shallow.fires[3], 300);
@@ -360,9 +454,49 @@ mod tests {
     }
 
     #[test]
+    fn dead_producer_reports_backpressured_stream() {
+        // A write stage that drains only stream 2 while the compute stage's
+        // output stream has no consumer: the compute stream fills, the
+        // compute stage blocks pushing, and everything upstream starves.
+        let mut d = linear_design(200, 1, 1);
+        d.wiring[3].reads = vec![]; // write stage no longer drains stream 2
+        let err = simulate(&d, None).unwrap_err();
+        assert!(err.cycles.unwrap_or(0) > 0);
+        // The compute stage (index 2) must be reported blocked pushing its
+        // full output stream (handle 2, depth 8).
+        let compute = &err.stages[2];
+        assert_eq!(compute.stage, "stage2:compute");
+        assert_eq!(
+            compute.status,
+            crate::deadlock::StageStatus::BlockedOnPush { stream: 2 }
+        );
+        let s2 = &err.streams[2];
+        assert_eq!((s2.occupancy, s2.depth), (8, 8));
+        assert!(s2.full_stall_cycles.unwrap() > 0, "{s2:?}");
+        // Display names the offenders.
+        let text = err.to_string();
+        assert!(text.contains("stage2:compute"), "{text}");
+        assert!(text.contains("blocked pushing stream 2"), "{text}");
+    }
+
+    #[test]
+    fn starved_consumer_reports_blocked_pop() {
+        // Nothing ever writes stream 0: the shift stage starves forever.
+        let mut d = linear_design(50, 1, 1);
+        d.wiring[0].writes = vec![]; // load feeds nothing
+        let err = simulate(&d, None).unwrap_err();
+        let shift = &err.stages[1];
+        assert_eq!(
+            shift.status,
+            crate::deadlock::StageStatus::BlockedOnPop { stream: 0 }
+        );
+        assert!(err.blocked_stages().count() >= 1);
+    }
+
+    #[test]
     fn report_throughput_helper() {
         let d = linear_design(3000, 1, 1);
-        let r = simulate(&d, None);
+        let r = simulate(&d, None).unwrap();
         let device = Device::u280();
         let mpts = r.mpts(d.interior_points, &device);
         // ~300 MPt/s at one point per cycle at 300 MHz.

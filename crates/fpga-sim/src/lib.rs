@@ -8,6 +8,8 @@
 //! Layers:
 //!
 //! - [`stream`] — FIFO semantics with back-pressure and statistics.
+//! - [`deadlock`] — structured stall diagnosis ([`deadlock::DeadlockReport`])
+//!   shared by the threaded and cycle engines.
 //! - [`executor`] — functional execution of HLS-dialect kernels
 //!   (sequential Kahn engine + the paper's linked runtime functions).
 //! - [`threaded`] — true concurrent execution with bounded FIFOs and
@@ -26,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod cycle;
+pub mod deadlock;
 pub mod design;
 pub mod device;
 pub mod executor;

@@ -20,6 +20,7 @@ use shmls_ir::interp::{ExternOps, Machine, RtValue, Store};
 use shmls_ir::prelude::*;
 use shmls_ir::{ir_bail, ir_error};
 
+use crate::deadlock::{DeadlockReport, StageSnapshot, StageStatus, StreamSnapshot};
 use crate::executor::{dispatch_runtime_call, StreamIo};
 
 /// Outcome of a threaded run.
@@ -33,23 +34,33 @@ pub enum ThreadedOutcome {
         mem_beats: u64,
     },
     /// At least one stage stalled past the watchdog — a deadlock (or an
-    /// unbalanced producer/consumer pair).
+    /// unbalanced producer/consumer pair). The report snapshots every
+    /// stage's state and every FIFO's occupancy vs. declared depth.
     Deadlock {
-        /// Diagnostics from the stalled stages.
-        stalls: Vec<String>,
+        /// Structured diagnosis naming the blocked stages and streams.
+        report: Box<DeadlockReport>,
     },
+}
+
+/// One bounded channel plus its declared depth (for occupancy reporting).
+struct Channel {
+    tx: Sender<RtValue>,
+    rx: Receiver<RtValue>,
+    depth: usize,
 }
 
 /// A channel-backed stream table shared by all stage threads.
 struct ChannelTable {
-    channels: Mutex<Vec<(Sender<RtValue>, Receiver<RtValue>)>>,
+    channels: Mutex<Vec<Channel>>,
     watchdog: Duration,
 }
 
 impl ChannelTable {
     fn create(&self, depth: usize) -> usize {
         let mut guard = self.channels.lock();
-        guard.push(bounded(depth.max(1)));
+        let depth = depth.max(1);
+        let (tx, rx) = bounded(depth);
+        guard.push(Channel { tx, rx, depth });
         guard.len() - 1
     }
 
@@ -57,14 +68,32 @@ impl ChannelTable {
         self.channels
             .lock()
             .get(handle)
-            .cloned()
+            .map(|c| (c.tx.clone(), c.rx.clone()))
             .ok_or_else(|| ir_error!("invalid stream handle {handle}"))
+    }
+
+    /// Occupancy vs. declared depth for every FIFO, creation order.
+    fn snapshot(&self) -> Vec<StreamSnapshot> {
+        self.channels
+            .lock()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| StreamSnapshot {
+                stream: i,
+                occupancy: c.rx.len(),
+                depth: c.depth,
+                full_stall_cycles: None,
+            })
+            .collect()
     }
 }
 
-/// Stream transport over bounded channels with stall detection.
+/// Stream transport over bounded channels with stall detection. Records
+/// the last blocking operation that timed out so the deadlock report can
+/// name the stream the owning stage was stuck on.
 struct ChannelIo {
     table: Arc<ChannelTable>,
+    last_stall: Option<StageStatus>,
 }
 
 impl StreamIo for ChannelIo {
@@ -72,7 +101,10 @@ impl StreamIo for ChannelIo {
         let (_, rx) = self.table.endpoints(handle)?;
         match rx.recv_timeout(self.table.watchdog) {
             Ok(v) => Ok(v),
-            Err(RecvTimeoutError::Timeout) => Err(stall_error("read", handle)),
+            Err(RecvTimeoutError::Timeout) => {
+                self.last_stall = Some(StageStatus::BlockedOnPop { stream: handle });
+                Err(stall_error("read", handle))
+            }
             Err(RecvTimeoutError::Disconnected) => {
                 Err(ir_error!("stream {handle} closed with reader pending"))
             }
@@ -83,7 +115,10 @@ impl StreamIo for ChannelIo {
         let (tx, _) = self.table.endpoints(handle)?;
         match tx.send_timeout(value, self.table.watchdog) {
             Ok(()) => Ok(()),
-            Err(SendTimeoutError::Timeout(_)) => Err(stall_error("write", handle)),
+            Err(SendTimeoutError::Timeout(_)) => {
+                self.last_stall = Some(StageStatus::BlockedOnPush { stream: handle });
+                Err(stall_error("write", handle))
+            }
             Err(SendTimeoutError::Disconnected(_)) => {
                 Err(ir_error!("stream {handle} closed with writer pending"))
             }
@@ -96,6 +131,19 @@ const STALL_PREFIX: &str = "stalled:";
 
 fn stall_error(what: &str, handle: usize) -> IrError {
     ir_error!("{STALL_PREFIX} blocking {what} on stream {handle} exceeded the watchdog")
+}
+
+/// Role hint for a stage, derived from the runtime calls it makes.
+fn stage_role(ctx: &Context, stage: OpId) -> &'static str {
+    for call in ctx.find_ops(stage, "func.call") {
+        match shmls_dialects::func::callee(ctx, call) {
+            Some("write_data") => return "write_data",
+            Some("load_data") | Some("dummy_load_data") => return "load_data",
+            Some("shift_buffer") => return "shift_buffer",
+            _ => {}
+        }
+    }
+    "compute"
 }
 
 /// Extern hook for stage threads and for the init phase.
@@ -157,6 +205,7 @@ pub fn execute_threaded(
     let mut init_extern = ChannelExtern {
         io: ChannelIo {
             table: Arc::clone(&table),
+            last_stall: None,
         },
         mem_beats: 0,
     };
@@ -197,27 +246,45 @@ pub fn execute_threaded(
     });
 
     // ---- concurrent phase ------------------------------------------------
-    let results: Vec<IrResult<(Store, u64)>> = std::thread::scope(|scope| {
+    enum StageResult {
+        Done(Store, u64),
+        /// The stage timed out blocking on the named stream operation.
+        Stalled(StageStatus),
+        Failed(IrError),
+    }
+
+    let results: Vec<StageResult> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for &stage in &stages {
             let env = env.clone();
             let store = init_store.clone();
             let table = Arc::clone(&table);
-            handles.push(scope.spawn(move || -> IrResult<(Store, u64)> {
+            handles.push(scope.spawn(move || -> StageResult {
                 let mut ext = ChannelExtern {
-                    io: ChannelIo { table },
+                    io: ChannelIo {
+                        table,
+                        last_stall: None,
+                    },
                     mem_beats: 0,
                 };
                 let mut m = Machine::new(ctx, module, &mut ext);
                 m.env = env;
                 m.store = store;
-                let body = ctx
-                    .entry_block(stage)
-                    .ok_or_else(|| ir_error!("dataflow stage without body"))?;
-                m.run_block(body)?;
+                let Some(body) = ctx.entry_block(stage) else {
+                    return StageResult::Failed(ir_error!("dataflow stage without body"));
+                };
+                let run = m.run_block(body);
                 let store = std::mem::take(&mut m.store);
                 drop(m);
-                Ok((store, ext.mem_beats))
+                match run {
+                    Ok(_) => StageResult::Done(store, ext.mem_beats),
+                    Err(e) => match ext.io.last_stall {
+                        Some(status) if e.to_string().contains(STALL_PREFIX) => {
+                            StageResult::Stalled(status)
+                        }
+                        _ => StageResult::Failed(e),
+                    },
+                }
             }));
         }
         handles
@@ -226,23 +293,41 @@ pub fn execute_threaded(
             .collect()
     });
 
-    let mut stalls = Vec::new();
+    // Non-stall errors take precedence: a failing stage is a bug in the
+    // program, not a deadlock, even if its failure starved the others.
+    let mut stalled = false;
     let mut stores: Vec<Option<(Store, u64)>> = Vec::new();
-    for r in results {
+    let mut stage_snaps: Vec<StageSnapshot> = Vec::new();
+    for (i, r) in results.into_iter().enumerate() {
+        let label = format!("stage{i}:{}", stage_role(ctx, stages[i]));
         match r {
-            Ok(pair) => stores.push(Some(pair)),
-            Err(e) => {
-                if e.to_string().contains(STALL_PREFIX) {
-                    stalls.push(e.to_string());
-                    stores.push(None);
-                } else {
-                    return Err(e);
-                }
+            StageResult::Done(store, beats) => {
+                stage_snaps.push(StageSnapshot {
+                    stage: label,
+                    status: StageStatus::Finished,
+                });
+                stores.push(Some((store, beats)));
             }
+            StageResult::Stalled(status) => {
+                stalled = true;
+                stage_snaps.push(StageSnapshot {
+                    stage: label,
+                    status,
+                });
+                stores.push(None);
+            }
+            StageResult::Failed(e) => return Err(e),
         }
     }
-    if !stalls.is_empty() {
-        return Ok(ThreadedOutcome::Deadlock { stalls });
+    if stalled {
+        let report = DeadlockReport {
+            stages: stage_snaps,
+            streams: table.snapshot(),
+            cycles: None,
+        };
+        return Ok(ThreadedOutcome::Deadlock {
+            report: Box::new(report),
+        });
     }
     let mem_beats: u64 = init_beats + stores.iter().flatten().map(|(_, b)| *b).sum::<u64>();
     let store = match write_stage {
@@ -316,8 +401,20 @@ mod tests {
         let out =
             execute_threaded(&ctx, module, "k", |_| vec![], Duration::from_millis(200)).unwrap();
         match out {
-            ThreadedOutcome::Deadlock { stalls } => {
-                assert!(stalls.iter().any(|s| s.contains("read")), "{stalls:?}");
+            ThreadedOutcome::Deadlock { report } => {
+                // The consumer (stage 1) is blocked popping the empty
+                // stream 0; the producer finished.
+                assert_eq!(report.stages.len(), 2);
+                assert_eq!(report.stages[0].status, StageStatus::Finished);
+                assert_eq!(
+                    report.stages[1].status,
+                    StageStatus::BlockedOnPop { stream: 0 }
+                );
+                assert_eq!(report.streams.len(), 1);
+                assert_eq!(report.streams[0].occupancy, 0);
+                assert_eq!(report.streams[0].depth, 2);
+                let text = report.to_string();
+                assert!(text.contains("blocked popping stream 0"), "{text}");
             }
             other => panic!("expected deadlock, got {other:?}"),
         }
@@ -346,8 +443,17 @@ mod tests {
         let out =
             execute_threaded(&ctx, module, "k", |_| vec![], Duration::from_millis(200)).unwrap();
         match out {
-            ThreadedOutcome::Deadlock { stalls } => {
-                assert!(stalls.iter().any(|s| s.contains("write")), "{stalls:?}");
+            ThreadedOutcome::Deadlock { report } => {
+                // The producer (stage 0) is blocked pushing the full
+                // stream 0; the consumer drained its 10 and finished.
+                assert_eq!(
+                    report.stages[0].status,
+                    StageStatus::BlockedOnPush { stream: 0 }
+                );
+                assert_eq!(report.stages[1].status, StageStatus::Finished);
+                let s0 = &report.streams[0];
+                assert_eq!((s0.occupancy, s0.depth), (2, 2), "FIFO must be full");
+                assert!(s0.is_full());
             }
             other => panic!("expected deadlock, got {other:?}"),
         }

@@ -144,21 +144,67 @@ fn normalize_kernel(k: &KernelDef) -> KernelDef {
     k
 }
 
+/// The round-trip property for one kernel, with panic-based assertions so
+/// it can be shared between the proptest and the pinned regressions.
+fn check_round_trip(kernel: &KernelDef) {
+    let source = kernel_to_source(kernel);
+    let reparsed =
+        parse_kernel(&source).unwrap_or_else(|e| panic!("reparse failed: {e}\n{source}"));
+    assert_eq!(
+        normalize_kernel(&reparsed),
+        normalize_kernel(kernel),
+        "source:\n{source}"
+    );
+    // And printing again is a fixpoint.
+    assert_eq!(kernel_to_source(&reparsed), source);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
     fn dsl_round_trip(kernel in arb_kernel()) {
         prop_assume!(kernel.validate().is_ok());
-        let source = kernel_to_source(&kernel);
-        let reparsed = parse_kernel(&source)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{source}"));
-        prop_assert_eq!(
-            normalize_kernel(&reparsed),
-            normalize_kernel(&kernel),
-            "source:\n{}", source
-        );
-        // And printing again is a fixpoint.
-        prop_assert_eq!(kernel_to_source(&reparsed), source);
+        check_round_trip(&kernel);
     }
+}
+
+/// The shrunk case from `proptest_dsl.proptest-regressions`, pinned as a
+/// deterministic test: a nested right-associated add `0.0 + (0.0 + 0.0)`
+/// must keep its parentheses through print → parse → print.
+#[test]
+fn pinned_nested_add_round_trips() {
+    let kernel = KernelDef {
+        name: "roundtrip".into(),
+        grid: vec![3],
+        halo: 1,
+        fields: vec![
+            FieldDecl {
+                name: "in0".into(),
+                kind: FieldKind::Input,
+            },
+            FieldDecl {
+                name: "out0".into(),
+                kind: FieldKind::Output,
+            },
+        ],
+        params: vec![],
+        consts: vec![],
+        computes: vec![ComputeDef {
+            target: "out0".into(),
+            expr: build::add(
+                build::num(0.0),
+                build::add(build::num(0.0), build::num(0.0)),
+            ),
+        }],
+    };
+    kernel.validate().unwrap();
+    check_round_trip(&kernel);
+    // The printed form must parenthesise the right operand — flattening to
+    // `0.0 + 0.0 + 0.0` would reparse left-associated and change the tree.
+    assert!(
+        kernel_to_source(&kernel).contains("0.0 + (0.0 + 0.0)"),
+        "printer lost the nested-add grouping:\n{}",
+        kernel_to_source(&kernel)
+    );
 }

@@ -22,7 +22,7 @@ fn check_agreement(name: &str, source: &str, tolerance: f64) {
     let design = design_for(source);
     let device = Device::u280();
     let analytic = hmls_estimate(&design, &device, 1);
-    let stepped = cycle::simulate(&design, None);
+    let stepped = cycle::simulate(&design, None).unwrap();
     let ratio = stepped.cycles as f64 / analytic.cycles as f64;
     assert!(
         (1.0 - tolerance..1.0 + tolerance).contains(&ratio),
@@ -64,7 +64,7 @@ fn cycle_sim_counts_every_token() {
     // Conservation: compute stages fire exactly once per interior point,
     // the write stage drains every result.
     let design = design_for(&shmls_kernels::pw_advection::source(12, 10, 8));
-    let report = cycle::simulate(&design, None);
+    let report = cycle::simulate(&design, None).unwrap();
     let points = design.interior_points;
     for (i, stage) in design.stages.iter().enumerate() {
         if let shmls_fpga_sim::design::Stage::Compute { trips, .. } = stage {
@@ -85,8 +85,8 @@ fn shallow_fifos_slow_but_do_not_deadlock() {
     // The generated designs are deadlock-free even at FIFO depth 1 — the
     // property StencilFlow lacked on these benchmarks.
     let design = design_for(&shmls_kernels::pw_advection::source(10, 8, 6));
-    let deep = cycle::simulate(&design, None);
-    let shallow = cycle::simulate(&design, Some(1));
+    let deep = cycle::simulate(&design, None).unwrap();
+    let shallow = cycle::simulate(&design, Some(1)).unwrap();
     assert!(shallow.cycles >= deep.cycles);
     let last = design.stages.len() - 1;
     assert_eq!(shallow.fires[last], deep.fires[last]);

@@ -24,15 +24,21 @@ use stencil_hmls::{compile_kernel, CompileOptions, TargetPath};
 
 /// Recipe for one expression node (resolved against the kernel's declared
 /// names during construction).
+///
+/// Selector fields (`field`, `offset`, `which`) are raw `usize` draws,
+/// reduced modulo the relevant range at resolution time (see [`index`]).
+/// The checked-in regression seeds shrink these to huge values like
+/// `9223372036854775808`; the explicit modulo makes out-of-range indexing
+/// impossible by construction, whatever the raw draw.
 #[derive(Debug, Clone)]
 enum ExprRecipe {
     Lit(i32),
     Input {
-        field: prop::sample::Index,
-        offset: prop::sample::Index,
+        field: usize,
+        offset: usize,
     },
     Computed {
-        which: prop::sample::Index,
+        which: usize,
     },
     Param {
         offset: i8,
@@ -55,12 +61,20 @@ enum ExprRecipe {
     },
 }
 
+/// Reduce a raw selector draw into `0..size` — the same arithmetic
+/// `prop::sample::Index` applies, written out so resolution can never
+/// index out of range however extreme the raw value.
+fn index(raw: usize, size: usize) -> usize {
+    debug_assert!(size > 0, "selector range must be non-empty");
+    raw % size
+}
+
 fn arb_expr() -> impl Strategy<Value = ExprRecipe> {
     let leaf = prop_oneof![
         (-30i32..30).prop_map(ExprRecipe::Lit),
-        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
+        (any::<usize>(), any::<usize>())
             .prop_map(|(field, offset)| ExprRecipe::Input { field, offset }),
-        any::<prop::sample::Index>().prop_map(|which| ExprRecipe::Computed { which }),
+        any::<usize>().prop_map(|which| ExprRecipe::Computed { which }),
         (-1i8..2).prop_map(|offset| ExprRecipe::Param { offset }),
         Just(ExprRecipe::Const),
     ];
@@ -136,10 +150,10 @@ fn resolve(recipe: &ExprRecipe, r: &KernelRecipe, k: usize) -> Expr {
     match recipe {
         ExprRecipe::Lit(v) => build::num(*v as f64 / 4.0),
         ExprRecipe::Input { field, offset } => {
-            let f = field.index(r.n_inputs);
+            let f = index(*field, r.n_inputs);
             // Offsets: one axis gets -1/0/1, the rest 0.
             let mut offsets = vec![0i64; r.rank];
-            let pick = offset.index(r.rank * 3);
+            let pick = index(*offset, r.rank * 3);
             offsets[pick / 3] = (pick % 3) as i64 - 1;
             build::field(&format!("in{f}"), &offsets)
         }
@@ -147,7 +161,7 @@ fn resolve(recipe: &ExprRecipe, r: &KernelRecipe, k: usize) -> Expr {
             if k == 0 {
                 build::field("in0", &vec![0i64; r.rank])
             } else {
-                let c = which.index(k);
+                let c = index(*which, k);
                 build::field(&compute_name(r, c), &vec![0i64; r.rank])
             }
         }
@@ -316,102 +330,248 @@ fn outputs_equal(
     Ok(())
 }
 
+/// The full property: every execution path agrees on `recipe`. Panics
+/// with a description on any disagreement. Shared by the random property
+/// test and the pinned regression cases below.
+fn check_all_paths(recipe: &KernelRecipe) {
+    let kernel = build_kernel(recipe);
+    kernel.validate().expect("generated kernel must be valid");
+    let data = make_data(&kernel, recipe.seed);
+
+    let compiled = compile_kernel(
+        kernel.clone(),
+        &CompileOptions {
+            paths: TargetPath::HlsAndCpu,
+            ..Default::default()
+        },
+    )
+    .expect("random kernel compiles");
+
+    let reference = run_stencil(&compiled, &data).expect("stencil path runs");
+    let cpu = run_cpu(&compiled, &data).expect("cpu path runs");
+    let (hls, _) = run_hls(&compiled, &data).expect("hls path runs");
+
+    if let Err(e) = outputs_equal(&reference, &cpu, &kernel) {
+        panic!("cpu mismatch: {e}");
+    }
+    if let Err(e) = outputs_equal(&reference, &hls, &kernel) {
+        panic!("hls mismatch: {e}");
+    }
+
+    // The CPU-favoured fuse and its FPGA split must round-trip
+    // semantically: fuse all applies, split them back, rebuild the
+    // dataflow design, and compare against the reference.
+    {
+        use shmls_dialects::builtin::create_module;
+        use shmls_frontend::lower_kernel;
+        let mut ctx = shmls_ir::ir::Context::new();
+        let (module, body) = create_module(&mut ctx);
+        let lowered = lower_kernel(&mut ctx, body, &kernel).expect("lowers");
+        stencil_hmls::fuse::fuse_applies(&mut ctx, lowered.func).expect("fuses");
+        stencil_hmls::split::split_applies(&mut ctx, module).expect("splits");
+        shmls_ir::verifier::verify_with(&ctx, module, &shmls_dialects::registry())
+            .expect("verifies after fuse+split");
+        // Interpret the fused+split stencil function directly.
+        let mut no = shmls_ir::interp::NoExtern;
+        let mut machine = shmls_ir::interp::Machine::new(&ctx, module, &mut no);
+        let mut args = Vec::new();
+        let mut handles = std::collections::BTreeMap::new();
+        let bounded = shmls_ir::types::StencilBounds::from_extents(&kernel.grid).grown(kernel.halo);
+        for arg in &compiled.signature.args {
+            match arg {
+                shmls_frontend::KernelArg::Field(name, _) => {
+                    let buffer =
+                        data.buffers.get(name).cloned().unwrap_or_else(|| {
+                            Buffer::zeroed(bounded.extents(), bounded.lb.clone())
+                        });
+                    let h = machine.store.alloc(buffer);
+                    handles.insert(name.clone(), h);
+                    args.push(shmls_ir::interp::RtValue::MemRef(h));
+                }
+                shmls_frontend::KernelArg::Param(name, _, extent) => {
+                    let buffer = data
+                        .buffers
+                        .get(name)
+                        .cloned()
+                        .unwrap_or_else(|| Buffer::zeroed(vec![*extent], vec![0]));
+                    args.push(shmls_ir::interp::RtValue::MemRef(
+                        machine.store.alloc(buffer),
+                    ));
+                }
+                shmls_frontend::KernelArg::Const(name) => {
+                    args.push(shmls_ir::interp::RtValue::F64(data.scalars[name]));
+                }
+            }
+        }
+        machine.call(&kernel.name, &args).expect("fused+split runs");
+        let mut fused_out = BTreeMap::new();
+        for arg in &compiled.signature.args {
+            if let shmls_frontend::KernelArg::Field(name, kind) = arg {
+                if matches!(
+                    kind,
+                    shmls_frontend::FieldKind::Output | shmls_frontend::FieldKind::InOut
+                ) {
+                    fused_out.insert(
+                        name.clone(),
+                        machine.store.get(handles[name]).unwrap().clone(),
+                    );
+                }
+            }
+        }
+        if let Err(e) = outputs_equal(&reference, &fused_out, &kernel) {
+            panic!("fuse+split mismatch: {e}");
+        }
+    }
+
+    // Canonicalisation must not change semantics.
+    let unopt = compile_kernel(
+        kernel.clone(),
+        &CompileOptions {
+            paths: TargetPath::HlsOnly,
+            optimize: false,
+            ..Default::default()
+        },
+    )
+    .expect("unoptimised compile");
+    let (hls_unopt, _) = run_hls(&unopt, &data).expect("unoptimised hls runs");
+    if let Err(e) = outputs_equal(&reference, &hls_unopt, &kernel) {
+        panic!("canonicalise changed values: {e}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn all_paths_agree_on_random_kernels(recipe in arb_kernel()) {
-        let kernel = build_kernel(&recipe);
-        kernel.validate().expect("generated kernel must be valid");
-        let data = make_data(&kernel, recipe.seed);
+        check_all_paths(&recipe);
+    }
+}
 
-        let compiled = compile_kernel(
-            kernel.clone(),
-            &CompileOptions { paths: TargetPath::HlsAndCpu, ..Default::default() },
-        )
-        .expect("random kernel compiles");
-
-        let reference = run_stencil(&compiled, &data).expect("stencil path runs");
-        let cpu = run_cpu(&compiled, &data).expect("cpu path runs");
-        let (hls, _) = run_hls(&compiled, &data).expect("hls path runs");
-
-        outputs_equal(&reference, &cpu, &kernel)
-            .map_err(|e| TestCaseError::fail(format!("cpu mismatch: {e}")))?;
-        outputs_equal(&reference, &hls, &kernel)
-            .map_err(|e| TestCaseError::fail(format!("hls mismatch: {e}")))?;
-
-        // The CPU-favoured fuse and its FPGA split must round-trip
-        // semantically: fuse all applies, split them back, rebuild the
-        // dataflow design, and compare against the reference.
-        {
-            use shmls_dialects::builtin::create_module;
-            use shmls_frontend::lower_kernel;
-            let mut ctx = shmls_ir::ir::Context::new();
-            let (module, body) = create_module(&mut ctx);
-            let lowered = lower_kernel(&mut ctx, body, &kernel).expect("lowers");
-            stencil_hmls::fuse::fuse_applies(&mut ctx, lowered.func).expect("fuses");
-            stencil_hmls::split::split_applies(&mut ctx, module).expect("splits");
-            shmls_ir::verifier::verify_with(&ctx, module, &shmls_dialects::registry())
-                .expect("verifies after fuse+split");
-            // Interpret the fused+split stencil function directly.
-            let mut no = shmls_ir::interp::NoExtern;
-            let mut machine = shmls_ir::interp::Machine::new(&ctx, module, &mut no);
-            let mut args = Vec::new();
-            let mut handles = std::collections::BTreeMap::new();
-            let bounded = shmls_ir::types::StencilBounds::from_extents(&kernel.grid)
-                .grown(kernel.halo);
-            for arg in &compiled.signature.args {
-                match arg {
-                    shmls_frontend::KernelArg::Field(name, _) => {
-                        let buffer = data.buffers.get(name).cloned().unwrap_or_else(|| {
-                            Buffer::zeroed(bounded.extents(), bounded.lb.clone())
-                        });
-                        let h = machine.store.alloc(buffer);
-                        handles.insert(name.clone(), h);
-                        args.push(shmls_ir::interp::RtValue::MemRef(h));
-                    }
-                    shmls_frontend::KernelArg::Param(name, _, extent) => {
-                        let buffer = data
-                            .buffers
-                            .get(name)
-                            .cloned()
-                            .unwrap_or_else(|| Buffer::zeroed(vec![*extent], vec![0]));
-                        args.push(shmls_ir::interp::RtValue::MemRef(machine.store.alloc(buffer)));
-                    }
-                    shmls_frontend::KernelArg::Const(name) => {
-                        args.push(shmls_ir::interp::RtValue::F64(data.scalars[name]));
-                    }
-                }
-            }
-            machine.call(&kernel.name, &args).expect("fused+split runs");
-            let mut fused_out = BTreeMap::new();
-            for arg in &compiled.signature.args {
-                if let shmls_frontend::KernelArg::Field(name, kind) = arg {
-                    if matches!(
-                        kind,
-                        shmls_frontend::FieldKind::Output | shmls_frontend::FieldKind::InOut
-                    ) {
-                        fused_out
-                            .insert(name.clone(), machine.store.get(handles[name]).unwrap().clone());
-                    }
-                }
-            }
-            outputs_equal(&reference, &fused_out, &kernel)
-                .map_err(|e| TestCaseError::fail(format!("fuse+split mismatch: {e}")))?;
-        }
-
-        // Canonicalisation must not change semantics.
-        let unopt = compile_kernel(
-            kernel.clone(),
-            &CompileOptions {
-                paths: TargetPath::HlsOnly,
-                optimize: false,
-                ..Default::default()
+/// The three shrunk cases from `proptest_equivalence.proptest-regressions`,
+/// pinned as deterministic tests. Their signature is the huge raw selector
+/// values (e.g. `Index(9223372036854775808)`) that must reduce in-range
+/// via [`index`] rather than panic in the recipe resolver.
+#[test]
+fn pinned_regression_recipes_pass() {
+    let r1 = KernelRecipe {
+        rank: 1,
+        dims: vec![3],
+        n_inputs: 2,
+        n_temps: 2,
+        n_outputs: 1,
+        has_param: false,
+        has_const: true,
+        exprs: vec![
+            ExprRecipe::Unary {
+                f: 0,
+                arg: Box::new(ExprRecipe::Neg(Box::new(ExprRecipe::Binary2 {
+                    f: 0,
+                    lhs: Box::new(ExprRecipe::Lit(0)),
+                    rhs: Box::new(ExprRecipe::Input {
+                        field: 9223372036854775808,
+                        offset: 9909478,
+                    }),
+                }))),
             },
-        )
-        .expect("unoptimised compile");
-        let (hls_unopt, _) = run_hls(&unopt, &data).expect("unoptimised hls runs");
-        outputs_equal(&reference, &hls_unopt, &kernel)
-            .map_err(|e| TestCaseError::fail(format!("canonicalise changed values: {e}")))?;
+            ExprRecipe::Binary2 {
+                f: 2,
+                lhs: Box::new(ExprRecipe::Neg(Box::new(ExprRecipe::Const))),
+                rhs: Box::new(ExprRecipe::Bin {
+                    op: 1,
+                    lhs: Box::new(ExprRecipe::Bin {
+                        op: 2,
+                        lhs: Box::new(ExprRecipe::Lit(-26)),
+                        rhs: Box::new(ExprRecipe::Const),
+                    }),
+                    rhs: Box::new(ExprRecipe::Binary2 {
+                        f: 0,
+                        lhs: Box::new(ExprRecipe::Computed {
+                            which: 13816947040361381355,
+                        }),
+                        rhs: Box::new(ExprRecipe::Lit(-13)),
+                    }),
+                }),
+            },
+            ExprRecipe::Bin {
+                op: 1,
+                lhs: Box::new(ExprRecipe::Bin {
+                    op: 2,
+                    lhs: Box::new(ExprRecipe::Const),
+                    rhs: Box::new(ExprRecipe::Input {
+                        field: 13795840102280043210,
+                        offset: 4144246166807939672,
+                    }),
+                }),
+                rhs: Box::new(ExprRecipe::Unary {
+                    f: 0,
+                    arg: Box::new(ExprRecipe::Const),
+                }),
+            },
+        ],
+        seed: 14057307636149143301,
+    };
+    let r2 = KernelRecipe {
+        rank: 3,
+        dims: vec![3, 3, 3],
+        n_inputs: 1,
+        n_temps: 0,
+        n_outputs: 2,
+        has_param: true,
+        has_const: true,
+        exprs: vec![
+            ExprRecipe::Param { offset: 0 },
+            ExprRecipe::Binary2 {
+                f: 0,
+                lhs: Box::new(ExprRecipe::Computed { which: 16344541 }),
+                rhs: Box::new(ExprRecipe::Binary2 {
+                    f: 1,
+                    lhs: Box::new(ExprRecipe::Computed {
+                        which: 11697982217553240617,
+                    }),
+                    rhs: Box::new(ExprRecipe::Const),
+                }),
+            },
+        ],
+        seed: 9719278599767481186,
+    };
+    let r3 = KernelRecipe {
+        rank: 3,
+        dims: vec![3, 3, 3],
+        n_inputs: 2,
+        n_temps: 2,
+        n_outputs: 1,
+        has_param: false,
+        has_const: true,
+        exprs: vec![
+            ExprRecipe::Unary {
+                f: 0,
+                arg: Box::new(ExprRecipe::Input {
+                    field: 24,
+                    offset: 1321723315434644032,
+                }),
+            },
+            ExprRecipe::Neg(Box::new(ExprRecipe::Neg(Box::new(ExprRecipe::Const)))),
+            ExprRecipe::Bin {
+                op: 1,
+                lhs: Box::new(ExprRecipe::Unary {
+                    f: 0,
+                    arg: Box::new(ExprRecipe::Bin {
+                        op: 0,
+                        lhs: Box::new(ExprRecipe::Const),
+                        rhs: Box::new(ExprRecipe::Const),
+                    }),
+                }),
+                rhs: Box::new(ExprRecipe::Neg(Box::new(ExprRecipe::Input {
+                    field: 4892271038459241677,
+                    offset: 12994908259423360077,
+                }))),
+            },
+        ],
+        seed: 15305569472585956697,
+    };
+    for (label, recipe) in [("seed1", &r1), ("seed2", &r2), ("seed3", &r3)] {
+        println!("checking pinned recipe {label}");
+        check_all_paths(recipe);
     }
 }
