@@ -13,6 +13,11 @@
 //! repro validate         # functional validation on the simulator
 //! repro all              # everything above
 //! repro json <path>      # dump raw results as JSON (artifact-style)
+//! repro bench [--quick] [--out PATH]
+//!                        # performance telemetry -> BENCH.json
+//! repro compare <baseline.json> <new.json> [--tolerance PCT]
+//!               [--time-tolerance PCT] [--time-floor MS] [--markdown]
+//!                        # delta table; exit 1 on regressions
 //! ```
 
 use std::time::Duration;
@@ -114,6 +119,120 @@ fn check(ok: bool) -> &'static str {
     }
 }
 
+/// `repro bench [--quick] [--out PATH]`
+fn bench(args: &[String]) {
+    use shmls_bench::telemetry::run_bench;
+    let mut quick = false;
+    let mut out_path = "BENCH.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("repro bench: `--out` needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("repro bench: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = match run_bench(quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro bench: {e}");
+            std::process::exit(1);
+        }
+    };
+    let body = report.to_json();
+    if let Err(e) = std::fs::write(&out_path, &body) {
+        eprintln!("repro bench: cannot write `{out_path}`: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "Benchmark ({} mode, rev {}, {} {}, {} cpus)",
+        report.mode, report.git_rev, report.host.os, report.host.arch, report.host.cpus
+    );
+    let width = report.metrics.keys().map(String::len).max().unwrap_or(6);
+    for (key, m) in &report.metrics {
+        println!("  {key:<width$} {:>14.3} {}", m.value, m.unit);
+    }
+    println!("wrote {out_path} ({} metrics)", report.metrics.len());
+}
+
+/// `repro compare <baseline> <new> [--tolerance PCT] [--time-tolerance PCT]
+/// [--time-floor MS] [--markdown]`
+fn compare_cmd(args: &[String]) {
+    use shmls_bench::telemetry::{compare, BenchReport, CompareOptions};
+    let mut paths: Vec<&String> = Vec::new();
+    let mut opts = CompareOptions::default();
+    let mut markdown = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--markdown" => markdown = true,
+            "--tolerance" | "--time-tolerance" | "--time-floor" => {
+                let which = arg.clone();
+                let value = it.next().and_then(|v| v.parse::<f64>().ok());
+                match value {
+                    Some(v) if v >= 0.0 => match which.as_str() {
+                        "--tolerance" => opts.tolerance_pct = v,
+                        "--time-tolerance" => opts.time_tolerance_pct = v,
+                        _ => opts.time_floor_ms = v,
+                    },
+                    _ => {
+                        eprintln!("repro compare: `{which}` needs a non-negative number");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other if !other.starts_with("--") => paths.push(arg),
+            other => {
+                eprintln!("repro compare: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: repro compare <baseline.json> <new.json> [--tolerance PCT] [--time-tolerance PCT] [--time-floor MS] [--markdown]");
+        std::process::exit(2);
+    };
+    let load = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => match BenchReport::from_json(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("repro compare: `{path}`: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("repro compare: cannot read `{path}`: {e}");
+            std::process::exit(2);
+        }
+    };
+    let base = load(base_path);
+    let new = load(new_path);
+    let report = match compare(&base, &new, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro compare: {e}");
+            std::process::exit(2);
+        }
+    };
+    if markdown {
+        print!("{}", report.render_markdown());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.regressions() > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let eval = EvalContext::default();
@@ -129,6 +248,8 @@ fn main() {
         "cycles" => print!("{}", cycles(&eval)),
         "ii" => print!("{}", ii_report(&eval)),
         "validate" => print!("{}", validate()),
+        "bench" => bench(&args[1..]),
+        "compare" => compare_cmd(&args[1..]),
         "json" => {
             let path = args.get(1).map(String::as_str).unwrap_or("results.json");
             let results = evaluate_all(&eval);
@@ -158,7 +279,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown command `{other}`; expected figure4|figure5|figure6|table1|table2|\
-                 ablation|dse|cycles|ii|validate|json|all"
+                 ablation|dse|cycles|ii|validate|bench|compare|json|all"
             );
             std::process::exit(2);
         }

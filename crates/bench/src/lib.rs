@@ -14,6 +14,9 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod telemetry;
+
 use std::collections::BTreeMap;
 
 use serde::Serialize;

@@ -1,0 +1,765 @@
+//! The `repro bench` / `repro compare` performance-telemetry harness.
+//!
+//! `run_bench` compiles both paper kernels at the paper's grid sizes with
+//! full per-pass timing ([`stencil_hmls::CompiledKernel::timings`]), runs
+//! the sequential and threaded dataflow engines plus the cycle-stepped
+//! simulator on small grids, and flattens everything into a
+//! schema-versioned metric map serialised as `BENCH.json`.
+//!
+//! `compare` diffs two such reports metric-by-metric and classifies each
+//! delta against a tolerance, so CI can gate on regressions (see
+//! `.github/workflows/ci.yml` and the committed `bench/baseline.json`).
+//!
+//! Two noise classes keep the gate honest: `deterministic` metrics
+//! (simulated cycles, stage/stream counts, memory beats) regress only when
+//! the compiler's output actually changes and get the tight tolerance;
+//! `wallclock` metrics (per-pass ms, engine throughput) vary with the host
+//! and get a separate, much looser tolerance.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use shmls_kernels::{pw_advection, tracer_advection};
+use stencil_hmls::runner::{run_hls, run_hls_threaded, KernelData};
+use stencil_hmls::{compile, CompileOptions, CompiledKernel};
+
+/// Version of the `BENCH.json` schema. Bump on any breaking change to the
+/// metric key space or file layout, and refresh `bench/baseline.json` in
+/// the same commit — `compare` refuses to diff across versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Which direction is an improvement for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    /// Larger values are better (throughput).
+    Higher,
+    /// Smaller values are better (durations, cycles, resource counts).
+    Lower,
+}
+
+/// How noisy a metric is across runs and hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Noise {
+    /// Identical on every run of the same code (cycle counts, design
+    /// structure). Compared with the tight tolerance.
+    Deterministic,
+    /// Wall-clock derived; varies with machine and load. Compared with
+    /// the loose time tolerance.
+    WallClock,
+}
+
+/// One measured value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// The measurement.
+    pub value: f64,
+    /// Display unit (`"ms"`, `"cycles"`, `"elems/s"`, `"count"`, …).
+    pub unit: String,
+    /// Improvement direction.
+    pub better: Better,
+    /// Noise class (selects which tolerance applies).
+    pub noise: Noise,
+}
+
+/// Host fingerprint recorded alongside the numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available parallelism.
+    pub cpus: usize,
+}
+
+impl HostInfo {
+    /// Fingerprint the current host.
+    pub fn current() -> Self {
+        Self {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// A full benchmark report (the in-memory form of `BENCH.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: u64,
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// `git rev-parse --short HEAD` at measurement time (or `"unknown"`).
+    pub git_rev: String,
+    /// Where the numbers were taken.
+    pub host: HostInfo,
+    /// Flat metric map, keyed `area/kernel/…` (sorted for stable diffs).
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The benchmark kernels, with their engine-run grids per mode.
+fn bench_kernels(quick: bool) -> Vec<(&'static str, [i64; 3])> {
+    if quick {
+        vec![
+            ("pw_advection", [10, 8, 6]),
+            ("tracer_advection", [8, 7, 6]),
+        ]
+    } else {
+        vec![
+            ("pw_advection", [16, 14, 10]),
+            ("tracer_advection", [12, 10, 8]),
+        ]
+    }
+}
+
+fn source_for(kernel: &str, grid: [i64; 3]) -> String {
+    match kernel {
+        "pw_advection" => pw_advection::source(grid[0], grid[1], grid[2]),
+        "tracer_advection" => tracer_advection::source(grid[0], grid[1], grid[2]),
+        other => unreachable!("unknown bench kernel `{other}`"),
+    }
+}
+
+fn kernel_data(kernel: &str, grid: [i64; 3]) -> KernelData {
+    let [nx, ny, nz] = grid;
+    match kernel {
+        "pw_advection" => {
+            let inputs = pw_advection::PwInputs::random(nx, ny, nz, 1);
+            KernelData::default()
+                .buffer("u", inputs.u.to_buffer())
+                .buffer("v", inputs.v.to_buffer())
+                .buffer("w", inputs.w.to_buffer())
+                .buffer("tzc1", inputs.tzc1.to_buffer())
+                .buffer("tzc2", inputs.tzc2.to_buffer())
+                .buffer("tzd1", inputs.tzd1.to_buffer())
+                .buffer("tzd2", inputs.tzd2.to_buffer())
+                .scalar("tcx", inputs.tcx)
+                .scalar("tcy", inputs.tcy)
+        }
+        "tracer_advection" => {
+            let inputs = tracer_advection::TracerInputs::random(nx, ny, nz, 2);
+            KernelData::default()
+                .buffer("tsn", inputs.tsn.to_buffer())
+                .buffer("pun", inputs.pun.to_buffer())
+                .buffer("pvn", inputs.pvn.to_buffer())
+                .buffer("pwn", inputs.pwn.to_buffer())
+                .buffer("tmask", inputs.tmask.to_buffer())
+                .buffer("umask", inputs.umask.to_buffer())
+                .buffer("vmask", inputs.vmask.to_buffer())
+                .buffer("rnfmsk", inputs.rnfmsk.to_buffer())
+                .buffer("upsmsk", inputs.upsmsk.to_buffer())
+                .buffer("ztfreez", inputs.ztfreez.to_buffer())
+                .buffer("rnfmsk_z", inputs.rnfmsk_z.to_buffer())
+                .buffer("e3t", inputs.e3t.to_buffer())
+                .scalar("pdt", inputs.pdt)
+        }
+        other => unreachable!("unknown bench kernel `{other}`"),
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn det(value: f64, unit: &str) -> Metric {
+    Metric {
+        value,
+        unit: unit.to_string(),
+        better: Better::Lower,
+        noise: Noise::Deterministic,
+    }
+}
+
+fn wall_ms(value: f64) -> Metric {
+    Metric {
+        value,
+        unit: "ms".to_string(),
+        better: Better::Lower,
+        noise: Noise::WallClock,
+    }
+}
+
+fn throughput(value: f64) -> Metric {
+    Metric {
+        value,
+        unit: "elems/s".to_string(),
+        better: Better::Higher,
+        noise: Noise::WallClock,
+    }
+}
+
+/// Best-of-N per-pass durations across repeated compiles: the minimum is
+/// the standard noise-resistant estimator for short deterministic work.
+fn best_pass_times(runs: &[&CompiledKernel]) -> Vec<(String, Duration)> {
+    let mut names: Vec<String> = Vec::new();
+    for r in runs[0].timings.records() {
+        if !names.contains(&r.name) {
+            names.push(r.name.clone());
+        }
+    }
+    names
+        .into_iter()
+        .map(|name| {
+            let best = runs
+                .iter()
+                .filter_map(|c| c.timings.get(&name))
+                .min()
+                .unwrap_or(Duration::ZERO);
+            (name, best)
+        })
+        .collect()
+}
+
+fn compile_metrics(
+    metrics: &mut BTreeMap<String, Metric>,
+    kernel: &str,
+    label: &str,
+    runs: &[&CompiledKernel],
+) {
+    for (name, best) in best_pass_times(runs) {
+        metrics.insert(
+            format!("compile/{kernel}/{label}/{name}_ms"),
+            wall_ms(ms(best)),
+        );
+    }
+    let compiled = runs[0];
+    // Design structure: deterministic fingerprints of the generated
+    // dataflow — these move only when the compiler's output changes.
+    let r = &compiled.report;
+    metrics.insert(
+        format!("design/{kernel}/{label}/streams"),
+        det(r.streams as f64, "count"),
+    );
+    metrics.insert(
+        format!("design/{kernel}/{label}/compute_stages"),
+        det(r.compute_stages as f64, "count"),
+    );
+    metrics.insert(
+        format!("design/{kernel}/{label}/dup_stages"),
+        det(r.dup_stages as f64, "count"),
+    );
+    metrics.insert(
+        format!("design/{kernel}/{label}/shift_buffers"),
+        det(r.shift_buffers as f64, "count"),
+    );
+}
+
+/// Run the benchmark suite. `quick` limits compile timing to the first
+/// paper size per kernel and shrinks the engine grids — the CI
+/// configuration; the full run covers every paper size.
+pub fn run_bench(quick: bool) -> Result<BenchReport, String> {
+    let mut metrics = BTreeMap::new();
+
+    // --- compile timing at the paper's grid sizes ------------------------
+    for kernel in [crate::Kernel::PwAdvection, crate::Kernel::TracerAdvection] {
+        let kname = match kernel {
+            crate::Kernel::PwAdvection => "pw_advection",
+            crate::Kernel::TracerAdvection => "tracer_advection",
+        };
+        let sizes = kernel.sizes();
+        let sizes = if quick { &sizes[..1] } else { &sizes[..] };
+        for size in sizes {
+            let mut runs = Vec::new();
+            for _ in 0..3 {
+                runs.push(
+                    compile(&kernel.source(size.grid), &CompileOptions::default())
+                        .map_err(|e| format!("compiling {kname} at {}: {e}", size.label))?,
+                );
+            }
+            let refs: Vec<&CompiledKernel> = runs.iter().collect();
+            compile_metrics(&mut metrics, kname, size.label, &refs);
+        }
+    }
+
+    // --- engine runs on small grids --------------------------------------
+    for (kname, grid) in bench_kernels(quick) {
+        let compiled = compile(&source_for(kname, grid), &CompileOptions::default())
+            .map_err(|e| format!("compiling {kname} for simulation: {e}"))?;
+        let data = kernel_data(kname, grid);
+        let points: i64 = grid.iter().product();
+
+        // Sequential (Kahn) engine.
+        let t0 = Instant::now();
+        let (_, (_, pushed, beats)) =
+            run_hls(&compiled, &data).map_err(|e| format!("{kname} sequential engine: {e}"))?;
+        let seq_wall = t0.elapsed();
+        metrics.insert(
+            format!("sim/{kname}/seq_elems_per_s"),
+            throughput(points as f64 / seq_wall.as_secs_f64().max(1e-9)),
+        );
+        metrics.insert(format!("sim/{kname}/mem_beats"), det(beats as f64, "beats"));
+        metrics.insert(
+            format!("sim/{kname}/stream_elements"),
+            det(pushed as f64, "elems"),
+        );
+
+        // Threaded engine (bounded FIFOs, one thread per stage).
+        let t0 = Instant::now();
+        let threaded = run_hls_threaded(&compiled, &data, Duration::from_secs(120))
+            .map_err(|e| format!("{kname} threaded engine: {e}"))?;
+        let thr_wall = t0.elapsed();
+        if let Err(report) = threaded {
+            return Err(format!("{kname} threaded engine deadlocked:\n{report}"));
+        }
+        metrics.insert(
+            format!("sim/{kname}/threaded_elems_per_s"),
+            throughput(points as f64 / thr_wall.as_secs_f64().max(1e-9)),
+        );
+
+        // Cycle-stepped simulation: fully deterministic.
+        let design = shmls_fpga_sim::design::DesignDescriptor::from_hls_func(
+            &compiled.ctx,
+            compiled.hls_func,
+        )
+        .map_err(|e| format!("{kname} design extraction: {e}"))?;
+        let stepped = shmls_fpga_sim::cycle::simulate(&design, None)
+            .map_err(|report| format!("{kname} cycle simulation deadlocked:\n{report}"))?;
+        metrics.insert(
+            format!("sim/{kname}/cycles"),
+            det(stepped.cycles as f64, "cycles"),
+        );
+    }
+
+    Ok(BenchReport {
+        schema_version: SCHEMA_VERSION,
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        git_rev: git_rev(),
+        host: HostInfo::current(),
+        metrics,
+    })
+}
+
+// ---- serialisation -------------------------------------------------------
+
+impl Metric {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("value".into(), Json::Num(self.value)),
+            ("unit".into(), Json::Str(self.unit.clone())),
+            (
+                "better".into(),
+                Json::Str(
+                    match self.better {
+                        Better::Higher => "higher",
+                        Better::Lower => "lower",
+                    }
+                    .into(),
+                ),
+            ),
+            (
+                "noise".into(),
+                Json::Str(
+                    match self.noise {
+                        Noise::Deterministic => "deterministic",
+                        Noise::WallClock => "wallclock",
+                    }
+                    .into(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(key: &str, v: &Json) -> Result<Metric, String> {
+        let value = v
+            .get("value")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("metric `{key}`: missing numeric `value`"))?;
+        let unit = v
+            .get("unit")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let better = match v.get("better").and_then(Json::as_str) {
+            Some("higher") => Better::Higher,
+            Some("lower") | None => Better::Lower,
+            Some(other) => return Err(format!("metric `{key}`: bad `better` value `{other}`")),
+        };
+        let noise = match v.get("noise").and_then(Json::as_str) {
+            Some("deterministic") => Noise::Deterministic,
+            Some("wallclock") | None => Noise::WallClock,
+            Some(other) => return Err(format!("metric `{key}`: bad `noise` value `{other}`")),
+        };
+        Ok(Metric {
+            value,
+            unit,
+            better,
+            noise,
+        })
+    }
+}
+
+impl BenchReport {
+    /// Serialise to the `BENCH.json` text form.
+    pub fn to_json(&self) -> String {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(k, m)| (k.clone(), m.to_json()))
+            .collect();
+        Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Num(self.schema_version as f64),
+            ),
+            ("mode".into(), Json::Str(self.mode.clone())),
+            ("git_rev".into(), Json::Str(self.git_rev.clone())),
+            (
+                "host".into(),
+                Json::Obj(vec![
+                    ("os".into(), Json::Str(self.host.os.clone())),
+                    ("arch".into(), Json::Str(self.host.arch.clone())),
+                    ("cpus".into(), Json::Num(self.host.cpus as f64)),
+                ]),
+            ),
+            ("metrics".into(), Json::Obj(metrics)),
+        ])
+        .pretty()
+    }
+
+    /// Parse the `BENCH.json` text form.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let schema_version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing `schema_version`")?;
+        let mode = v
+            .get("mode")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let git_rev = v
+            .get("git_rev")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let host = HostInfo {
+            os: v
+                .get("host")
+                .and_then(|h| h.get("os"))
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            arch: v
+                .get("host")
+                .and_then(|h| h.get("arch"))
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            cpus: v
+                .get("host")
+                .and_then(|h| h.get("cpus"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0) as usize,
+        };
+        let mut metrics = BTreeMap::new();
+        for (k, m) in v
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .ok_or("missing `metrics` object")?
+        {
+            metrics.insert(k.clone(), Metric::from_json(k, m)?);
+        }
+        Ok(BenchReport {
+            schema_version,
+            mode,
+            git_rev,
+            host,
+            metrics,
+        })
+    }
+}
+
+// ---- comparison ----------------------------------------------------------
+
+/// Tolerances for [`compare`], in percent.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareOptions {
+    /// Allowed degradation for deterministic metrics.
+    pub tolerance_pct: f64,
+    /// Allowed degradation for wall-clock metrics.
+    pub time_tolerance_pct: f64,
+    /// Absolute floor for millisecond metrics: a `ms` metric only gates
+    /// when it is over `time_tolerance_pct` *and* more than this many ms
+    /// slower. Sub-millisecond passes jitter by whole multiples between
+    /// identical-code runs, so a purely relative gate would flap.
+    pub time_floor_ms: f64,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        Self {
+            tolerance_pct: 2.0,
+            time_tolerance_pct: 75.0,
+            time_floor_ms: 5.0,
+        }
+    }
+}
+
+/// Classification of one metric's delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowStatus {
+    /// Within tolerance.
+    Ok,
+    /// Better than baseline beyond tolerance.
+    Improved,
+    /// Worse than baseline beyond tolerance — gates CI.
+    Regressed,
+    /// Present in the baseline but not in the new report — gates CI.
+    MissingInNew,
+    /// Only in the new report (informational).
+    New,
+}
+
+/// One row of the delta table.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Metric key.
+    pub metric: String,
+    /// Baseline value, if present.
+    pub base: Option<f64>,
+    /// New value, if present.
+    pub new: Option<f64>,
+    /// Signed delta in percent (positive = value went up).
+    pub delta_pct: Option<f64>,
+    /// The tolerance applied to this row.
+    pub tolerance_pct: f64,
+    /// Display unit.
+    pub unit: String,
+    /// Verdict.
+    pub status: RowStatus,
+}
+
+/// The full delta table.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// One row per metric, baseline order then new-only metrics.
+    pub rows: Vec<CompareRow>,
+}
+
+impl CompareReport {
+    /// Gating failures: regressions plus metrics that vanished.
+    pub fn regressions(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.status, RowStatus::Regressed | RowStatus::MissingInNew))
+            .count()
+    }
+
+    fn status_str(status: RowStatus) -> &'static str {
+        match status {
+            RowStatus::Ok => "ok",
+            RowStatus::Improved => "improved",
+            RowStatus::Regressed => "REGRESSED",
+            RowStatus::MissingInNew => "MISSING",
+            RowStatus::New => "new",
+        }
+    }
+
+    fn fmt_value(v: Option<f64>) -> String {
+        match v {
+            None => "-".to_string(),
+            Some(v) if v.abs() < f64::EPSILON => "0".to_string(),
+            Some(v) if v.abs() >= 1e6 => format!("{v:.3e}"),
+            Some(v) if v.abs() < 0.01 => format!("{v:.2e}"),
+            Some(v) => format!("{v:.3}"),
+        }
+    }
+
+    fn fmt_delta(d: Option<f64>) -> String {
+        match d {
+            None => "-".to_string(),
+            Some(d) => format!("{d:+.1}%"),
+        }
+    }
+
+    /// Plain-text delta table.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.metric.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:<width$} {:>12} {:>12} {:>9} {:>7} {:>10}",
+            "metric", "baseline", "new", "delta", "tol", "status"
+        )
+        .unwrap();
+        for r in &self.rows {
+            writeln!(
+                out,
+                "{:<width$} {:>12} {:>12} {:>9} {:>6}% {:>10}",
+                r.metric,
+                Self::fmt_value(r.base),
+                Self::fmt_value(r.new),
+                Self::fmt_delta(r.delta_pct),
+                r.tolerance_pct,
+                Self::status_str(r.status),
+            )
+            .unwrap();
+        }
+        let n = self.regressions();
+        writeln!(
+            out,
+            "\n{} metric(s) compared, {} regression(s)",
+            self.rows.len(),
+            n
+        )
+        .unwrap();
+        out
+    }
+
+    /// GitHub-flavoured markdown delta table (for the CI job summary).
+    pub fn render_markdown(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "| metric | baseline | new | delta | tol | status |").unwrap();
+        writeln!(out, "|---|---:|---:|---:|---:|---|").unwrap();
+        for r in &self.rows {
+            writeln!(
+                out,
+                "| `{}` | {} | {} | {} | {}% | {} |",
+                r.metric,
+                Self::fmt_value(r.base),
+                Self::fmt_value(r.new),
+                Self::fmt_delta(r.delta_pct),
+                r.tolerance_pct,
+                Self::status_str(r.status),
+            )
+            .unwrap();
+        }
+        let n = self.regressions();
+        writeln!(
+            out,
+            "\n**{} metric(s) compared, {} regression(s)**",
+            self.rows.len(),
+            n
+        )
+        .unwrap();
+        out
+    }
+}
+
+/// Diff `new` against `base`. Errors (rather than producing a table) on
+/// schema-version or mode mismatches — those comparisons are meaningless
+/// and almost always mean the baseline needs refreshing.
+pub fn compare(
+    base: &BenchReport,
+    new: &BenchReport,
+    opts: &CompareOptions,
+) -> Result<CompareReport, String> {
+    if base.schema_version != new.schema_version {
+        return Err(format!(
+            "schema version mismatch: baseline v{} vs new v{} — refresh the baseline \
+             (see DESIGN.md, `repro bench`)",
+            base.schema_version, new.schema_version
+        ));
+    }
+    if base.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema version v{} not supported by this tool (expects v{SCHEMA_VERSION})",
+            base.schema_version
+        ));
+    }
+    if base.mode != new.mode {
+        return Err(format!(
+            "bench mode mismatch: baseline `{}` vs new `{}`",
+            base.mode, new.mode
+        ));
+    }
+
+    let mut rows = Vec::new();
+    for (key, b) in &base.metrics {
+        let row = match new.metrics.get(key) {
+            None => CompareRow {
+                metric: key.clone(),
+                base: Some(b.value),
+                new: None,
+                delta_pct: None,
+                tolerance_pct: 0.0,
+                unit: b.unit.clone(),
+                status: RowStatus::MissingInNew,
+            },
+            Some(n) => {
+                let tolerance_pct = match b.noise {
+                    Noise::Deterministic => opts.tolerance_pct,
+                    Noise::WallClock => opts.time_tolerance_pct,
+                };
+                let delta_pct = if b.value == 0.0 {
+                    if n.value == 0.0 {
+                        0.0
+                    } else {
+                        // From zero, any change is "infinitely" large;
+                        // report ±1000% so the sign still reads.
+                        1000.0 * n.value.signum()
+                    }
+                } else {
+                    (n.value - b.value) / b.value.abs() * 100.0
+                };
+                // Positive "worseness" = degradation.
+                let worse_pct = match b.better {
+                    Better::Lower => delta_pct,
+                    Better::Higher => -delta_pct,
+                };
+                // Millisecond metrics additionally need an absolute
+                // movement beyond the floor before they count either way.
+                let floored = b.unit == "ms"
+                    && b.noise == Noise::WallClock
+                    && (n.value - b.value).abs() < opts.time_floor_ms;
+                let status = if floored {
+                    RowStatus::Ok
+                } else if worse_pct > tolerance_pct {
+                    RowStatus::Regressed
+                } else if worse_pct < -tolerance_pct {
+                    RowStatus::Improved
+                } else {
+                    RowStatus::Ok
+                };
+                CompareRow {
+                    metric: key.clone(),
+                    base: Some(b.value),
+                    new: Some(n.value),
+                    delta_pct: Some(delta_pct),
+                    tolerance_pct,
+                    unit: b.unit.clone(),
+                    status,
+                }
+            }
+        };
+        rows.push(row);
+    }
+    for (key, n) in &new.metrics {
+        if !base.metrics.contains_key(key) {
+            rows.push(CompareRow {
+                metric: key.clone(),
+                base: None,
+                new: Some(n.value),
+                delta_pct: None,
+                tolerance_pct: 0.0,
+                unit: n.unit.clone(),
+                status: RowStatus::New,
+            });
+        }
+    }
+    Ok(CompareReport { rows })
+}

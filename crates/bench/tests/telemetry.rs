@@ -1,0 +1,240 @@
+//! Tests for the `repro bench` / `repro compare` telemetry harness:
+//! compare classification, JSON round-tripping, and an end-to-end smoke
+//! run of the quick benchmark.
+
+use std::collections::BTreeMap;
+
+use shmls_bench::telemetry::{
+    compare, run_bench, BenchReport, Better, CompareOptions, HostInfo, Metric, Noise, RowStatus,
+    SCHEMA_VERSION,
+};
+
+fn metric(value: f64, unit: &str, better: Better, noise: Noise) -> Metric {
+    Metric {
+        value,
+        unit: unit.to_string(),
+        better,
+        noise,
+    }
+}
+
+fn report(metrics: Vec<(&str, Metric)>) -> BenchReport {
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        mode: "quick".to_string(),
+        git_rev: "test".to_string(),
+        host: HostInfo::current(),
+        metrics: metrics
+            .into_iter()
+            .map(|(k, m)| (k.to_string(), m))
+            .collect::<BTreeMap<_, _>>(),
+    }
+}
+
+fn row_status(rep: &shmls_bench::telemetry::CompareReport, key: &str) -> RowStatus {
+    rep.rows
+        .iter()
+        .find(|r| r.metric == key)
+        .unwrap_or_else(|| panic!("row `{key}` missing"))
+        .status
+}
+
+#[test]
+fn deterministic_regression_detected() {
+    let base = report(vec![(
+        "sim/k/cycles",
+        metric(1000.0, "cycles", Better::Lower, Noise::Deterministic),
+    )]);
+    let new = report(vec![(
+        "sim/k/cycles",
+        metric(1100.0, "cycles", Better::Lower, Noise::Deterministic),
+    )]);
+    let rep = compare(&base, &new, &CompareOptions::default()).unwrap();
+    assert_eq!(row_status(&rep, "sim/k/cycles"), RowStatus::Regressed);
+    assert_eq!(rep.regressions(), 1);
+}
+
+#[test]
+fn within_tolerance_is_ok() {
+    let base = report(vec![(
+        "sim/k/cycles",
+        metric(1000.0, "cycles", Better::Lower, Noise::Deterministic),
+    )]);
+    let new = report(vec![(
+        "sim/k/cycles",
+        metric(1010.0, "cycles", Better::Lower, Noise::Deterministic),
+    )]);
+    let rep = compare(&base, &new, &CompareOptions::default()).unwrap();
+    assert_eq!(row_status(&rep, "sim/k/cycles"), RowStatus::Ok);
+    assert_eq!(rep.regressions(), 0);
+}
+
+#[test]
+fn higher_is_better_direction_respected() {
+    // Throughput dropping is a regression; throughput rising is not.
+    let base = report(vec![(
+        "sim/k/elems_per_s",
+        metric(1000.0, "elems/s", Better::Higher, Noise::Deterministic),
+    )]);
+    let worse = report(vec![(
+        "sim/k/elems_per_s",
+        metric(500.0, "elems/s", Better::Higher, Noise::Deterministic),
+    )]);
+    let better = report(vec![(
+        "sim/k/elems_per_s",
+        metric(2000.0, "elems/s", Better::Higher, Noise::Deterministic),
+    )]);
+    let opts = CompareOptions::default();
+    let rep = compare(&base, &worse, &opts).unwrap();
+    assert_eq!(row_status(&rep, "sim/k/elems_per_s"), RowStatus::Regressed);
+    let rep = compare(&base, &better, &opts).unwrap();
+    assert_eq!(row_status(&rep, "sim/k/elems_per_s"), RowStatus::Improved);
+}
+
+#[test]
+fn missing_metric_gates() {
+    let base = report(vec![(
+        "sim/k/cycles",
+        metric(1000.0, "cycles", Better::Lower, Noise::Deterministic),
+    )]);
+    let new = report(vec![]);
+    let rep = compare(&base, &new, &CompareOptions::default()).unwrap();
+    assert_eq!(row_status(&rep, "sim/k/cycles"), RowStatus::MissingInNew);
+    assert_eq!(rep.regressions(), 1);
+}
+
+#[test]
+fn new_metric_is_informational() {
+    let base = report(vec![]);
+    let new = report(vec![(
+        "sim/k/cycles",
+        metric(1000.0, "cycles", Better::Lower, Noise::Deterministic),
+    )]);
+    let rep = compare(&base, &new, &CompareOptions::default()).unwrap();
+    assert_eq!(row_status(&rep, "sim/k/cycles"), RowStatus::New);
+    assert_eq!(rep.regressions(), 0);
+}
+
+#[test]
+fn schema_mismatch_is_an_error() {
+    let base = report(vec![]);
+    let mut new = report(vec![]);
+    new.schema_version = SCHEMA_VERSION + 1;
+    let err = compare(&base, &new, &CompareOptions::default()).unwrap_err();
+    assert!(err.contains("schema version mismatch"), "{err}");
+}
+
+#[test]
+fn mode_mismatch_is_an_error() {
+    let base = report(vec![]);
+    let mut new = report(vec![]);
+    new.mode = "full".to_string();
+    let err = compare(&base, &new, &CompareOptions::default()).unwrap_err();
+    assert!(err.contains("mode mismatch"), "{err}");
+}
+
+#[test]
+fn wallclock_tolerance_is_looser() {
+    // +50% on a wall-clock ms metric (above the absolute floor) is inside
+    // the 75% time tolerance but far outside the 2% deterministic one.
+    let base = report(vec![(
+        "compile/k/8M/total_ms",
+        metric(100.0, "ms", Better::Lower, Noise::WallClock),
+    )]);
+    let new = report(vec![(
+        "compile/k/8M/total_ms",
+        metric(150.0, "ms", Better::Lower, Noise::WallClock),
+    )]);
+    let rep = compare(&base, &new, &CompareOptions::default()).unwrap();
+    assert_eq!(row_status(&rep, "compile/k/8M/total_ms"), RowStatus::Ok);
+}
+
+#[test]
+fn sub_millisecond_jitter_is_floored() {
+    // A 0.005 ms pass "tripling" to 0.015 ms is +200%, but under the 5 ms
+    // absolute floor it must not gate — that is pure scheduler noise.
+    let base = report(vec![(
+        "compile/k/8M/split_ms",
+        metric(0.005, "ms", Better::Lower, Noise::WallClock),
+    )]);
+    let new = report(vec![(
+        "compile/k/8M/split_ms",
+        metric(0.015, "ms", Better::Lower, Noise::WallClock),
+    )]);
+    let rep = compare(&base, &new, &CompareOptions::default()).unwrap();
+    assert_eq!(row_status(&rep, "compile/k/8M/split_ms"), RowStatus::Ok);
+    // But a genuine blow-up clears the floor and still gates.
+    let blown = report(vec![(
+        "compile/k/8M/split_ms",
+        metric(50.0, "ms", Better::Lower, Noise::WallClock),
+    )]);
+    let rep = compare(&base, &blown, &CompareOptions::default()).unwrap();
+    assert_eq!(
+        row_status(&rep, "compile/k/8M/split_ms"),
+        RowStatus::Regressed
+    );
+}
+
+#[test]
+fn report_json_round_trips() {
+    let rep = report(vec![
+        (
+            "sim/k/cycles",
+            metric(964.0, "cycles", Better::Lower, Noise::Deterministic),
+        ),
+        (
+            "compile/k/8M/total_ms",
+            metric(10.25, "ms", Better::Lower, Noise::WallClock),
+        ),
+        (
+            "sim/k/elems_per_s",
+            metric(1.5e6, "elems/s", Better::Higher, Noise::WallClock),
+        ),
+    ]);
+    let text = rep.to_json();
+    let back = BenchReport::from_json(&text).unwrap();
+    assert_eq!(back, rep);
+}
+
+#[test]
+fn malformed_json_is_rejected() {
+    assert!(BenchReport::from_json("{").is_err());
+    assert!(BenchReport::from_json("{}").is_err()); // no schema_version
+    assert!(BenchReport::from_json(r#"{"schema_version": 1}"#).is_err()); // no metrics
+}
+
+#[test]
+fn quick_bench_round_trips_and_self_compares_clean() {
+    // End-to-end smoke test: the quick benchmark runs, serialises,
+    // parses back identically, and a self-compare reports zero deltas
+    // and zero regressions. This is the exact contract the CI bench job
+    // relies on.
+    let rep = run_bench(true).expect("quick bench runs");
+    assert_eq!(rep.schema_version, SCHEMA_VERSION);
+    assert_eq!(rep.mode, "quick");
+    assert!(
+        rep.metrics.len() >= 30,
+        "expected a rich metric set, got {}",
+        rep.metrics.len()
+    );
+    // Key families all present.
+    for prefix in ["compile/pw_advection/", "compile/tracer_advection/", "sim/"] {
+        assert!(
+            rep.metrics.keys().any(|k| k.starts_with(prefix)),
+            "no metric under `{prefix}`"
+        );
+    }
+    assert!(rep.metrics.contains_key("sim/pw_advection/cycles"));
+    assert!(rep.metrics.contains_key("sim/tracer_advection/cycles"));
+
+    let text = rep.to_json();
+    let back = BenchReport::from_json(&text).unwrap();
+    assert_eq!(back, rep);
+
+    let cmp = compare(&rep, &back, &CompareOptions::default()).unwrap();
+    assert_eq!(cmp.regressions(), 0);
+    assert!(cmp
+        .rows
+        .iter()
+        .all(|r| r.status == RowStatus::Ok && r.delta_pct == Some(0.0)));
+}

@@ -35,6 +35,10 @@ pub struct CompileOptions {
     /// DCE) on the stencil IR before lowering — on FPGAs this deletes
     /// physical operators, not just instructions.
     pub optimize: bool,
+    /// Collect per-pass wall-clock timings on [`CompiledKernel::timings`].
+    /// With `false` the result's timings are empty; building `shmls-ir`
+    /// without its `timing` feature removes the instrumentation entirely.
+    pub time_passes: bool,
 }
 
 impl Default for CompileOptions {
@@ -44,6 +48,7 @@ impl Default for CompileOptions {
             paths: TargetPath::Full,
             verify: true,
             optimize: true,
+            time_passes: true,
         }
     }
 }
@@ -72,6 +77,13 @@ pub struct CompiledKernel {
     pub report: HmlsReport,
     /// Directives recovered by the fpp pass, when requested.
     pub directives: Option<DirectiveReport>,
+    /// Per-pass wall-clock timings (`parse`, `frontend-lower`,
+    /// `canonicalize`, `split`, `stencil-to-hls`, `connectivity`,
+    /// `cpu-lowering`, `llvm-lowering`, `fpp`, `verify`, `total`), in
+    /// execution order. Empty when
+    /// [`CompileOptions::time_passes`] is off or `shmls-ir` was built
+    /// without its `timing` feature.
+    pub timings: Timings,
 }
 
 impl CompiledKernel {
@@ -116,38 +128,62 @@ pub fn compile_stencil_ir(
 
 /// Compile DSL source text through the full pipeline.
 pub fn compile(source: &str, opts: &CompileOptions) -> IrResult<CompiledKernel> {
-    let kernel = parse_kernel(source)?;
-    compile_kernel(kernel, opts)
+    let mut timings = Timings::new();
+    let kernel = timings.time("parse", || parse_kernel(source))?;
+    compile_kernel_timed(kernel, opts, timings)
 }
 
 /// Compile an already-built [`KernelDef`] through the full pipeline.
 pub fn compile_kernel(kernel: KernelDef, opts: &CompileOptions) -> IrResult<CompiledKernel> {
+    compile_kernel_timed(kernel, opts, Timings::new())
+}
+
+/// The pipeline body, continuing the telemetry started by [`compile`]
+/// (which has already recorded the `parse` phase).
+fn compile_kernel_timed(
+    kernel: KernelDef,
+    opts: &CompileOptions,
+    mut timings: Timings,
+) -> IrResult<CompiledKernel> {
+    let mut stopwatch = Stopwatch::start();
     let mut ctx = Context::new();
     let (module, body) = create_module(&mut ctx);
     let lowered = lower_kernel(&mut ctx, body, &kernel)?;
+    stopwatch.lap(&mut timings, "frontend-lower");
     let registry = shmls_dialects::registry();
     if opts.verify {
         verify_with(&ctx, module, &registry).map_err(|e| e.context("after frontend lowering"))?;
+        stopwatch.lap(&mut timings, "verify");
     }
 
     if opts.optimize {
         // A real pass pipeline (with inter-pass verification) for the
-        // IR-to-IR stages that precede the dataflow construction.
+        // IR-to-IR stages that precede the dataflow construction. `split`
+        // is a no-op on the frontend's already-split form but guarantees
+        // `stencil_to_hls`'s single-result precondition for IR arriving
+        // from other frontends in the CPU/GPU-favoured fused form.
         let mut pm = shmls_ir::pass::PassManager::with_verifiers(shmls_dialects::registry());
         pm.verify_each = opts.verify;
         pm.add(crate::canonicalize::CanonicalizePass);
-        pm.run(&mut ctx, module)?;
+        pm.add(crate::split::SplitPass);
+        let pass_timings = pm.run(&mut ctx, module)?;
+        timings.absorb_pass_timings(&pass_timings);
     }
 
     let hls_out = stencil_to_hls(&mut ctx, lowered.func, &opts.hmls)?;
+    timings.extend(&hls_out.timings);
+    stopwatch = Stopwatch::start();
     if opts.verify {
         verify_with(&ctx, module, &registry).map_err(|e| e.context("after stencil-to-hls"))?;
+        stopwatch.lap(&mut timings, "verify");
     }
 
     let cpu_func = if matches!(opts.paths, TargetPath::HlsAndCpu | TargetPath::Full) {
         let f = crate::cpu_lowering::stencil_to_cpu(&mut ctx, lowered.func)?;
+        stopwatch.lap(&mut timings, "cpu-lowering");
         if opts.verify {
             verify_with(&ctx, module, &registry).map_err(|e| e.context("after cpu lowering"))?;
+            stopwatch.lap(&mut timings, "verify");
         }
         Some(f)
     } else {
@@ -156,14 +192,26 @@ pub fn compile_kernel(kernel: KernelDef, opts: &CompileOptions) -> IrResult<Comp
 
     let (llvm_func, directives) = if matches!(opts.paths, TargetPath::Full) {
         let f = hls_to_llvm(&mut ctx, hls_out.func)?;
+        stopwatch.lap(&mut timings, "llvm-lowering");
         let report = run_fpp(&mut ctx, f)?;
+        stopwatch.lap(&mut timings, "fpp");
         if opts.verify {
             verify_with(&ctx, module, &registry)
                 .map_err(|e| e.context("after llvm lowering + fpp"))?;
+            stopwatch.lap(&mut timings, "verify");
         }
         (Some(f), Some(report))
     } else {
         (None, None)
+    };
+
+    let timings = if opts.time_passes {
+        let mut t = timings;
+        let total = t.total();
+        t.record("total", total);
+        t
+    } else {
+        Timings::new()
     };
 
     Ok(CompiledKernel {
@@ -177,6 +225,7 @@ pub fn compile_kernel(kernel: KernelDef, opts: &CompileOptions) -> IrResult<Comp
         llvm_func,
         report: hls_out.report,
         directives,
+        timings,
     })
 }
 
@@ -222,5 +271,46 @@ kernel demo {
     fn parse_errors_propagate() {
         let e = compile("kernel broken {", &CompileOptions::default()).unwrap_err();
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn timings_cover_every_stage() {
+        let compiled = compile(SRC, &CompileOptions::default()).unwrap();
+        if !Timings::enabled() {
+            assert!(compiled.timings.is_empty());
+            return;
+        }
+        for stage in [
+            "parse",
+            "frontend-lower",
+            "canonicalize",
+            "split",
+            "stencil-to-hls",
+            "connectivity",
+            "cpu-lowering",
+            "llvm-lowering",
+            "fpp",
+            "verify",
+            "total",
+        ] {
+            assert!(
+                compiled.timings.get(stage).is_some(),
+                "stage `{stage}` missing from timings:\n{}",
+                compiled.timings
+            );
+        }
+        // `total` is recorded last and covers the sum of the real phases.
+        let records = compiled.timings.records();
+        assert_eq!(records.last().unwrap().name, "total");
+    }
+
+    #[test]
+    fn time_passes_off_leaves_timings_empty() {
+        let opts = CompileOptions {
+            time_passes: false,
+            ..Default::default()
+        };
+        let compiled = compile(SRC, &opts).unwrap();
+        assert!(compiled.timings.is_empty());
     }
 }

@@ -158,6 +158,32 @@ pub fn fuse_applies(ctx: &mut Context, func: OpId) -> IrResult<OpId> {
     Ok(fused)
 }
 
+/// [`shmls_ir::pass::Pass`] wrapper for pipeline use (named `"fuse"`):
+/// fuses the applies of every function that contains any, skipping
+/// stencil-free functions instead of erroring like [`fuse_applies`].
+///
+/// This is the CPU/GPU-favoured form; the FPGA pipeline follows it with
+/// [`crate::split::SplitPass`] only in experiments that measure the
+/// paper's `3 (split)` ablation factor — splitting a fused apply
+/// duplicates each consumer's producer cone, which is exactly the
+/// trade-off being measured.
+pub struct FusePass;
+
+impl shmls_ir::pass::Pass for FusePass {
+    fn name(&self) -> &str {
+        "fuse"
+    }
+
+    fn run(&self, ctx: &mut Context, root: OpId) -> IrResult<()> {
+        for func in ctx.find_ops(root, shmls_dialects::func::FUNC) {
+            if !ctx.find_ops(func, stencil::APPLY).is_empty() {
+                fuse_applies(ctx, func)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -121,6 +121,10 @@ pub struct HmlsOutput {
     pub func: OpId,
     /// Design summary.
     pub report: HmlsReport,
+    /// Wall-clock telemetry: `"stencil-to-hls"` (analysis + dataflow
+    /// construction) and `"connectivity"` (stream-graph verification).
+    /// Empty when `shmls-ir` is built without the `timing` feature.
+    pub timings: Timings,
 }
 
 /// The 512-bit packed pointer type used for field interfaces (step 2).
@@ -162,6 +166,8 @@ pub fn stencil_to_hls(
     stencil_func: OpId,
     opts: &HmlsOptions,
 ) -> IrResult<HmlsOutput> {
+    let mut timings = Timings::new();
+    let mut stopwatch = Stopwatch::start();
     let classification = classify_args(ctx, stencil_func)?;
     let entry = ctx
         .entry_block(stencil_func)
@@ -605,11 +611,14 @@ pub fn stencil_to_hls(
 
     // The generated design must be a well-formed Kahn network: every
     // stream fed and drained. Anything else would deadlock at runtime.
+    stopwatch.lap(&mut timings, "stencil-to-hls");
     crate::connectivity::verify_connectivity(ctx, hls_func)?;
+    stopwatch.lap(&mut timings, "connectivity");
 
     Ok(HmlsOutput {
         func: hls_func,
         report,
+        timings,
     })
 }
 

@@ -74,5 +74,8 @@ pub mod shift_buffer;
 pub mod split;
 pub mod synthesis_report;
 
+pub use canonicalize::CanonicalizePass;
 pub use driver::{compile, compile_kernel, CompileOptions, CompiledKernel, TargetPath};
+pub use fuse::FusePass;
 pub use hmls::{stencil_to_hls, HmlsOptions, HmlsOutput, HmlsReport};
+pub use split::SplitPass;

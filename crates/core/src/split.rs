@@ -73,6 +73,24 @@ fn split_one(ctx: &mut Context, apply: OpId) -> IrResult<usize> {
     Ok(n)
 }
 
+/// [`shmls_ir::pass::Pass`] wrapper for pipeline use (named `"split"`).
+///
+/// A no-op on functions whose applies are already single-result — the
+/// frontend emits that form — so it doubles as the pipeline's guarantee of
+/// [`crate::hmls::stencil_to_hls`]'s single-result precondition.
+pub struct SplitPass;
+
+impl shmls_ir::pass::Pass for SplitPass {
+    fn name(&self) -> &str {
+        "split"
+    }
+
+    fn run(&self, ctx: &mut Context, root: OpId) -> IrResult<()> {
+        split_applies(ctx, root)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,6 +43,7 @@ pub mod parser;
 pub mod pass;
 pub mod printer;
 pub mod rewrite;
+pub mod timing;
 pub mod types;
 pub mod verifier;
 
@@ -54,5 +55,6 @@ pub mod prelude {
     pub use crate::ir::{BlockId, Context, OpId, RegionId, Use, ValueDef, ValueId};
     pub use crate::parser::{parse_attribute, parse_op, parse_op_into, parse_type};
     pub use crate::printer::print_op;
+    pub use crate::timing::{Stopwatch, TimingRecord, Timings};
     pub use crate::types::{StencilBounds, Type};
 }

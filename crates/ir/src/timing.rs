@@ -1,0 +1,255 @@
+//! Wall-clock telemetry for compiler phases.
+//!
+//! [`Timings`] is a flat, ordered list of named durations that the driver
+//! threads through the whole compile (parse → canonicalize → split →
+//! stencil-to-hls → connectivity → llvm-lowering → fpp) and exposes on the
+//! compile result. The collector is deliberately dumb — no hierarchy, no
+//! global state, no locks — so a phase costs two `Instant::now()` calls to
+//! time.
+//!
+//! The whole module is gated behind the `timing` cargo feature (enabled by
+//! default). With the feature off, [`Timings`] is a zero-sized type and
+//! every method compiles to a no-op, so latency-critical embedders can
+//! build the compiler entirely free of telemetry.
+
+use std::fmt;
+use std::time::Duration;
+#[cfg(feature = "timing")]
+use std::time::Instant;
+
+use crate::pass::PassTiming;
+
+/// One named timed phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingRecord {
+    /// Phase name (e.g. `"stencil-to-hls"`).
+    pub name: String,
+    /// Wall-clock duration.
+    pub duration: Duration,
+}
+
+/// An ordered collection of named wall-clock durations.
+///
+/// Repeated names are legal (e.g. `"verify"` is recorded once per
+/// inter-stage verification); [`Timings::get`] sums them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timings {
+    #[cfg(feature = "timing")]
+    records: Vec<TimingRecord>,
+}
+
+impl Timings {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the crate was built with timing support (`timing` feature).
+    pub const fn enabled() -> bool {
+        cfg!(feature = "timing")
+    }
+
+    /// Record a phase. No-op without the `timing` feature.
+    #[allow(unused_variables)]
+    pub fn record(&mut self, name: impl Into<String>, duration: Duration) {
+        #[cfg(feature = "timing")]
+        self.records.push(TimingRecord {
+            name: name.into(),
+            duration,
+        });
+    }
+
+    /// Time the closure and record it under `name`, passing its value
+    /// through. Zero-cost (just the call) without the `timing` feature.
+    #[allow(unused_variables)]
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        #[cfg(feature = "timing")]
+        {
+            let start = Instant::now();
+            let out = f();
+            self.record(name, start.elapsed());
+            out
+        }
+        #[cfg(not(feature = "timing"))]
+        {
+            f()
+        }
+    }
+
+    /// All records, in execution order (empty without the feature).
+    pub fn records(&self) -> &[TimingRecord] {
+        #[cfg(feature = "timing")]
+        {
+            &self.records
+        }
+        #[cfg(not(feature = "timing"))]
+        {
+            &[]
+        }
+    }
+
+    /// Total duration recorded under `name` (summing repeats), if any.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        let mut total = Duration::ZERO;
+        let mut seen = false;
+        for r in self.records() {
+            if r.name == name {
+                total += r.duration;
+                seen = true;
+            }
+        }
+        seen.then_some(total)
+    }
+
+    /// Sum of every recorded phase.
+    pub fn total(&self) -> Duration {
+        self.records().iter().map(|r| r.duration).sum()
+    }
+
+    /// True when nothing has been recorded (always true without the
+    /// feature).
+    pub fn is_empty(&self) -> bool {
+        self.records().is_empty()
+    }
+
+    /// Append every record of `other`, preserving order.
+    #[allow(unused_variables)]
+    pub fn extend(&mut self, other: &Timings) {
+        #[cfg(feature = "timing")]
+        self.records.extend(other.records.iter().cloned());
+    }
+
+    /// Absorb the pass manager's per-pass timings.
+    #[allow(unused_variables)]
+    pub fn absorb_pass_timings(&mut self, timings: &[PassTiming]) {
+        #[cfg(feature = "timing")]
+        for t in timings {
+            self.records.push(TimingRecord {
+                name: t.name.clone(),
+                duration: t.duration,
+            });
+        }
+    }
+}
+
+impl fmt::Display for Timings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .records()
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(0);
+        for r in self.records() {
+            writeln!(
+                f,
+                "  {:<width$} {:>9.3} ms",
+                r.name,
+                r.duration.as_secs_f64() * 1e3,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Phase-boundary stopwatch for straight-line code where wrapping each
+/// phase in a closure is awkward: construct at the top, call
+/// [`Stopwatch::lap`] at each boundary.
+#[derive(Debug)]
+pub struct Stopwatch {
+    #[cfg(feature = "timing")]
+    last: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing.
+    pub fn start() -> Self {
+        Self {
+            #[cfg(feature = "timing")]
+            last: Instant::now(),
+        }
+    }
+
+    /// Record the time since construction or the previous lap under
+    /// `name`, then reset.
+    #[allow(unused_variables)]
+    pub fn lap(&mut self, timings: &mut Timings, name: &str) {
+        #[cfg(feature = "timing")]
+        {
+            let now = Instant::now();
+            timings.record(name, now - self.last);
+            self.last = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sums() {
+        let mut t = Timings::new();
+        t.record("a", Duration::from_millis(2));
+        t.record("b", Duration::from_millis(3));
+        t.record("a", Duration::from_millis(5));
+        if Timings::enabled() {
+            assert_eq!(t.records().len(), 3);
+            assert_eq!(t.get("a"), Some(Duration::from_millis(7)));
+            assert_eq!(t.get("b"), Some(Duration::from_millis(3)));
+            assert_eq!(t.get("c"), None);
+            assert_eq!(t.total(), Duration::from_millis(10));
+        } else {
+            assert!(t.is_empty());
+        }
+    }
+
+    #[test]
+    fn time_passes_value_through() {
+        let mut t = Timings::new();
+        let v = t.time("phase", || 41 + 1);
+        assert_eq!(v, 42);
+        if Timings::enabled() {
+            assert_eq!(t.records().len(), 1);
+            assert_eq!(t.records()[0].name, "phase");
+        }
+    }
+
+    #[test]
+    fn stopwatch_laps_in_order() {
+        let mut t = Timings::new();
+        let mut sw = Stopwatch::start();
+        sw.lap(&mut t, "first");
+        sw.lap(&mut t, "second");
+        if Timings::enabled() {
+            let names: Vec<&str> = t.records().iter().map(|r| r.name.as_str()).collect();
+            assert_eq!(names, vec!["first", "second"]);
+        }
+    }
+
+    #[test]
+    fn extend_preserves_order() {
+        let mut a = Timings::new();
+        a.record("x", Duration::from_millis(1));
+        let mut b = Timings::new();
+        b.record("y", Duration::from_millis(2));
+        a.extend(&b);
+        if Timings::enabled() {
+            let names: Vec<&str> = a.records().iter().map(|r| r.name.as_str()).collect();
+            assert_eq!(names, vec!["x", "y"]);
+        }
+    }
+
+    #[test]
+    fn display_renders_milliseconds() {
+        let mut t = Timings::new();
+        t.record("parse", Duration::from_micros(1500));
+        let s = t.to_string();
+        if Timings::enabled() {
+            assert!(s.contains("parse"), "{s}");
+            assert!(s.contains("1.500 ms"), "{s}");
+        } else {
+            assert!(s.is_empty());
+        }
+    }
+}
