@@ -168,11 +168,12 @@ impl Json {
 }
 
 /// Numbers must stay valid JSON: non-finite values have no JSON spelling,
-/// so they serialise as `null`-adjacent sentinels would — we clamp to 0
-/// instead, which a compare run will flag rather than silently accept.
+/// so they serialise as `null`. Readers that require a number (e.g. a
+/// metric's `value`) then reject the document loudly instead of silently
+/// recording a bogus finite value.
 fn format_number(n: f64) -> String {
     if !n.is_finite() {
-        return "0".to_string();
+        return "null".to_string();
     }
     if n.fract() == 0.0 && n.abs() < (1u64 << 53) as f64 {
         format!("{}", n as i64)
@@ -473,6 +474,19 @@ mod tests {
         assert_eq!(back, v);
         // Integral floats print without a decimal point.
         assert!(text.contains("\"k\": 42"), "{text}");
+    }
+
+    #[test]
+    fn non_finite_numbers_serialise_as_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::Num(v).pretty().trim(), "null");
+        }
+        // A reader requiring a number then rejects the field instead of
+        // seeing a bogus finite value.
+        let text = Json::Obj(vec![("value".into(), Json::Num(f64::NAN))]).pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("value"), Some(&Json::Null));
+        assert_eq!(back.get("value").unwrap().as_f64(), None);
     }
 
     #[test]

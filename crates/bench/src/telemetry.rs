@@ -716,9 +716,20 @@ pub fn compare(
                 } else {
                     (n.value - b.value) / b.value.abs() * 100.0
                 };
-                // Positive "worseness" = degradation.
+                // Positive "worseness" = degradation. Higher-is-better
+                // metrics compare as a ratio: dropping to 1/k of the
+                // baseline reads as a (k-1)·100% degradation, symmetric
+                // with a lower-is-better metric growing k×. Negating the
+                // plain delta would cap degradations at 100% (values are
+                // non-negative) and the loose wall-clock tolerances could
+                // never fire on a throughput collapse.
                 let worse_pct = match b.better {
                     Better::Lower => delta_pct,
+                    Better::Higher if b.value > 0.0 && n.value > 0.0 => {
+                        (b.value / n.value - 1.0) * 100.0
+                    }
+                    // Throughput collapsed to zero: unboundedly worse.
+                    Better::Higher if b.value > 0.0 => f64::INFINITY,
                     Better::Higher => -delta_pct,
                 };
                 // Millisecond metrics additionally need an absolute

@@ -92,6 +92,46 @@ fn higher_is_better_direction_respected() {
 }
 
 #[test]
+fn throughput_collapse_clears_wallclock_tolerance() {
+    // Higher-is-better metrics compare as a ratio: halving throughput is
+    // a 100% degradation, which must clear even the loose 75% wall-clock
+    // tolerance. (Negating the plain delta would cap it at 50%.)
+    let base = report(vec![(
+        "sim/k/threaded_elems_per_s",
+        metric(1.0e6, "elems/s", Better::Higher, Noise::WallClock),
+    )]);
+    let halved = report(vec![(
+        "sim/k/threaded_elems_per_s",
+        metric(0.5e6, "elems/s", Better::Higher, Noise::WallClock),
+    )]);
+    let rep = compare(&base, &halved, &CompareOptions::default()).unwrap();
+    assert_eq!(
+        row_status(&rep, "sim/k/threaded_elems_per_s"),
+        RowStatus::Regressed
+    );
+    // A throughput of zero is unboundedly worse and must also gate.
+    let dead = report(vec![(
+        "sim/k/threaded_elems_per_s",
+        metric(0.0, "elems/s", Better::Higher, Noise::WallClock),
+    )]);
+    let rep = compare(&base, &dead, &CompareOptions::default()).unwrap();
+    assert_eq!(
+        row_status(&rep, "sim/k/threaded_elems_per_s"),
+        RowStatus::Regressed
+    );
+    // Mild jitter stays inside the tolerance.
+    let jitter = report(vec![(
+        "sim/k/threaded_elems_per_s",
+        metric(0.8e6, "elems/s", Better::Higher, Noise::WallClock),
+    )]);
+    let rep = compare(&base, &jitter, &CompareOptions::default()).unwrap();
+    assert_eq!(
+        row_status(&rep, "sim/k/threaded_elems_per_s"),
+        RowStatus::Ok
+    );
+}
+
+#[test]
 fn missing_metric_gates() {
     let base = report(vec![(
         "sim/k/cycles",
@@ -194,6 +234,21 @@ fn report_json_round_trips() {
     let text = rep.to_json();
     let back = BenchReport::from_json(&text).unwrap();
     assert_eq!(back, rep);
+}
+
+#[test]
+fn non_finite_metric_is_rejected_on_parse() {
+    // A NaN metric serialises as `null`, and parsing the report back
+    // fails loudly instead of recording a bogus value that might slip
+    // through the gate.
+    let rep = report(vec![(
+        "sim/k/elems_per_s",
+        metric(f64::NAN, "elems/s", Better::Higher, Noise::WallClock),
+    )]);
+    let text = rep.to_json();
+    assert!(text.contains("null"), "{text}");
+    let err = BenchReport::from_json(&text).unwrap_err();
+    assert!(err.contains("missing numeric `value`"), "{err}");
 }
 
 #[test]

@@ -36,7 +36,10 @@ pub struct CompileOptions {
     /// physical operators, not just instructions.
     pub optimize: bool,
     /// Collect per-pass wall-clock timings on [`CompiledKernel::timings`].
-    /// With `false` the result's timings are empty; building `shmls-ir`
+    /// With `false` the driver skips its clock reads and record
+    /// allocations at runtime and the result's timings are empty (the
+    /// pass manager and stencil-to-HLS transform still take a handful of
+    /// internal timestamps, which are dropped); building `shmls-ir`
     /// without its `timing` feature removes the instrumentation entirely.
     pub time_passes: bool,
 }
@@ -126,16 +129,26 @@ pub fn compile_stencil_ir(
     Ok((ctx, module, out.func, out.report))
 }
 
+/// The driver's phase collector: live when `time_passes` is set, a
+/// runtime no-op otherwise.
+fn driver_timings(opts: &CompileOptions) -> Timings {
+    if opts.time_passes {
+        Timings::new()
+    } else {
+        Timings::off()
+    }
+}
+
 /// Compile DSL source text through the full pipeline.
 pub fn compile(source: &str, opts: &CompileOptions) -> IrResult<CompiledKernel> {
-    let mut timings = Timings::new();
+    let mut timings = driver_timings(opts);
     let kernel = timings.time("parse", || parse_kernel(source))?;
     compile_kernel_timed(kernel, opts, timings)
 }
 
 /// Compile an already-built [`KernelDef`] through the full pipeline.
 pub fn compile_kernel(kernel: KernelDef, opts: &CompileOptions) -> IrResult<CompiledKernel> {
-    compile_kernel_timed(kernel, opts, Timings::new())
+    compile_kernel_timed(kernel, opts, driver_timings(opts))
 }
 
 /// The pipeline body, continuing the telemetry started by [`compile`]
@@ -205,14 +218,11 @@ fn compile_kernel_timed(
         (None, None)
     };
 
-    let timings = if opts.time_passes {
-        let mut t = timings;
-        let total = t.total();
-        t.record("total", total);
-        t
-    } else {
-        Timings::new()
-    };
+    // Summary row last; `Timings::total()` skips it when re-summing, so
+    // the reported end-to-end time is not doubled. No-op when the
+    // collector is off.
+    let total = timings.total();
+    timings.record("total", total);
 
     Ok(CompiledKernel {
         ctx,
@@ -299,9 +309,11 @@ kernel demo {
                 compiled.timings
             );
         }
-        // `total` is recorded last and covers the sum of the real phases.
+        // `total` is recorded last, covers the sum of the real phases,
+        // and re-summing after it lands must not double-count it.
         let records = compiled.timings.records();
         assert_eq!(records.last().unwrap().name, "total");
+        assert_eq!(compiled.timings.get("total"), Some(compiled.timings.total()));
     }
 
     #[test]

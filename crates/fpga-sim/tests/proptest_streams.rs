@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use shmls_dialects::window::{offset_to_window_pos, window_offsets};
-use shmls_fpga_sim::stream::Fifo;
+use shmls_fpga_sim::stream::{Fifo, StreamTable};
 use shmls_ir::interp::RtValue;
 
 /// One random FIFO operation.

@@ -10,7 +10,10 @@
 //! The whole module is gated behind the `timing` cargo feature (enabled by
 //! default). With the feature off, [`Timings`] is a zero-sized type and
 //! every method compiles to a no-op, so latency-critical embedders can
-//! build the compiler entirely free of telemetry.
+//! build the compiler entirely free of telemetry. For per-call opt-out at
+//! runtime (e.g. `CompileOptions::time_passes = false`), [`Timings::off`]
+//! builds a collector that skips both the clock reads and the record
+//! allocations.
 
 use std::fmt;
 use std::time::Duration;
@@ -32,16 +35,43 @@ pub struct TimingRecord {
 ///
 /// Repeated names are legal (e.g. `"verify"` is recorded once per
 /// inter-stage verification); [`Timings::get`] sums them.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Timings {
     #[cfg(feature = "timing")]
     records: Vec<TimingRecord>,
+    /// Runtime gate: `false` turns every mutation into a no-op.
+    #[cfg(feature = "timing")]
+    on: bool,
+}
+
+impl Default for Timings {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Timings {
     /// An empty collector.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            #[cfg(feature = "timing")]
+            records: Vec::new(),
+            #[cfg(feature = "timing")]
+            on: true,
+        }
+    }
+
+    /// A collector that ignores every `record`/`time`/`lap` — the runtime
+    /// counterpart of building without the `timing` feature, so callers
+    /// opting out (e.g. `time_passes = false`) skip the clock reads and
+    /// allocations rather than collecting and discarding.
+    pub fn off() -> Self {
+        Self {
+            #[cfg(feature = "timing")]
+            records: Vec::new(),
+            #[cfg(feature = "timing")]
+            on: false,
+        }
     }
 
     /// Whether the crate was built with timing support (`timing` feature).
@@ -49,22 +79,42 @@ impl Timings {
         cfg!(feature = "timing")
     }
 
-    /// Record a phase. No-op without the `timing` feature.
+    /// Whether this collector accepts records: built with the `timing`
+    /// feature and not constructed via [`Timings::off`].
+    pub fn is_on(&self) -> bool {
+        #[cfg(feature = "timing")]
+        {
+            self.on
+        }
+        #[cfg(not(feature = "timing"))]
+        {
+            false
+        }
+    }
+
+    /// Record a phase. No-op without the `timing` feature or on an
+    /// [`Timings::off`] collector.
     #[allow(unused_variables)]
     pub fn record(&mut self, name: impl Into<String>, duration: Duration) {
         #[cfg(feature = "timing")]
-        self.records.push(TimingRecord {
-            name: name.into(),
-            duration,
-        });
+        if self.on {
+            self.records.push(TimingRecord {
+                name: name.into(),
+                duration,
+            });
+        }
     }
 
     /// Time the closure and record it under `name`, passing its value
-    /// through. Zero-cost (just the call) without the `timing` feature.
+    /// through. Zero-cost (just the call) without the `timing` feature;
+    /// skips the clock reads on an [`Timings::off`] collector.
     #[allow(unused_variables)]
     pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
         #[cfg(feature = "timing")]
         {
+            if !self.on {
+                return f();
+            }
             let start = Instant::now();
             let out = f();
             self.record(name, start.elapsed());
@@ -101,9 +151,15 @@ impl Timings {
         seen.then_some(total)
     }
 
-    /// Sum of every recorded phase.
+    /// Sum of every recorded phase, excluding any synthetic `total` row
+    /// (the driver appends one after summing the real phases; counting it
+    /// here would double the reported end-to-end time).
     pub fn total(&self) -> Duration {
-        self.records().iter().map(|r| r.duration).sum()
+        self.records()
+            .iter()
+            .filter(|r| r.name != "total")
+            .map(|r| r.duration)
+            .sum()
     }
 
     /// True when nothing has been recorded (always true without the
@@ -112,22 +168,28 @@ impl Timings {
         self.records().is_empty()
     }
 
-    /// Append every record of `other`, preserving order.
+    /// Append every record of `other`, preserving order. No-op on an
+    /// [`Timings::off`] collector.
     #[allow(unused_variables)]
     pub fn extend(&mut self, other: &Timings) {
         #[cfg(feature = "timing")]
-        self.records.extend(other.records.iter().cloned());
+        if self.on {
+            self.records.extend(other.records.iter().cloned());
+        }
     }
 
-    /// Absorb the pass manager's per-pass timings.
+    /// Absorb the pass manager's per-pass timings. No-op on an
+    /// [`Timings::off`] collector.
     #[allow(unused_variables)]
     pub fn absorb_pass_timings(&mut self, timings: &[PassTiming]) {
         #[cfg(feature = "timing")]
-        for t in timings {
-            self.records.push(TimingRecord {
-                name: t.name.clone(),
-                duration: t.duration,
-            });
+        if self.on {
+            for t in timings {
+                self.records.push(TimingRecord {
+                    name: t.name.clone(),
+                    duration: t.duration,
+                });
+            }
         }
     }
 }
@@ -171,11 +233,15 @@ impl Stopwatch {
     }
 
     /// Record the time since construction or the previous lap under
-    /// `name`, then reset.
+    /// `name`, then reset. Skips the clock read entirely when `timings`
+    /// is not collecting.
     #[allow(unused_variables)]
     pub fn lap(&mut self, timings: &mut Timings, name: &str) {
         #[cfg(feature = "timing")]
         {
+            if !timings.is_on() {
+                return;
+            }
             let now = Instant::now();
             timings.record(name, now - self.last);
             self.last = now;
@@ -202,6 +268,35 @@ mod tests {
         } else {
             assert!(t.is_empty());
         }
+    }
+
+    #[test]
+    fn total_excludes_synthetic_total_row() {
+        let mut t = Timings::new();
+        t.record("a", Duration::from_millis(2));
+        t.record("b", Duration::from_millis(3));
+        let total = t.total();
+        t.record("total", total);
+        if Timings::enabled() {
+            // Recording the summary row must not double the reported total.
+            assert_eq!(t.total(), Duration::from_millis(5));
+            assert_eq!(t.get("total"), Some(Duration::from_millis(5)));
+        }
+    }
+
+    #[test]
+    fn off_collector_drops_everything() {
+        let mut t = Timings::off();
+        assert!(!t.is_on());
+        t.record("a", Duration::from_millis(2));
+        let v = t.time("b", || 7);
+        assert_eq!(v, 7);
+        let mut sw = Stopwatch::start();
+        sw.lap(&mut t, "c");
+        let mut other = Timings::new();
+        other.record("d", Duration::from_millis(1));
+        t.extend(&other);
+        assert!(t.is_empty());
     }
 
     #[test]
