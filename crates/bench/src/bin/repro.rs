@@ -18,6 +18,11 @@
 //! repro compare <baseline.json> <new.json> [--tolerance PCT]
 //!               [--time-tolerance PCT] [--time-floor MS] [--markdown]
 //!                        # delta table; exit 1 on regressions
+//! repro fuzz [--cases N] [--seed S] [--engine E]... [--ulp N]
+//!            [--inject offset-flip|op-swap] [--corpus DIR]
+//!            [--max-failures N] [--shrink-budget N]
+//!                        # cross-engine differential fuzzing; exit 1 on
+//!                        # any disagreement (reproducers land in DIR)
 //! ```
 
 use std::time::Duration;
@@ -233,6 +238,94 @@ fn compare_cmd(args: &[String]) {
     }
 }
 
+/// `repro fuzz [--cases N] [--seed S] [--engine E]... [--ulp N]
+/// [--inject FAULT] [--corpus DIR] [--max-failures N] [--shrink-budget N]`
+fn fuzz_cmd(args: &[String]) {
+    use shmls_conformance::harness::Fault;
+    use shmls_conformance::{run_fuzz, Engine, FuzzOptions};
+
+    let mut opts = FuzzOptions::default();
+    let mut engines: Vec<Engine> = Vec::new();
+    let mut it = args.iter();
+    let parse_u64 = |flag: &str, v: Option<&String>| -> u64 {
+        match v.and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) => n,
+            None => {
+                eprintln!("repro fuzz: `{flag}` needs a non-negative integer");
+                std::process::exit(2);
+            }
+        }
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cases" => opts.cases = parse_u64(arg, it.next()),
+            "--seed" => opts.seed = parse_u64(arg, it.next()),
+            "--ulp" => opts.check.max_ulps = parse_u64(arg, it.next()),
+            "--max-failures" => opts.max_failures = parse_u64(arg, it.next()) as usize,
+            "--shrink-budget" => opts.shrink_budget = parse_u64(arg, it.next()) as usize,
+            "--engine" => match it.next().and_then(|v| Engine::parse(v)) {
+                Some(e) => engines.push(e),
+                None => {
+                    eprintln!("repro fuzz: `--engine` needs one of cpu|hls|threaded|cycle");
+                    std::process::exit(2);
+                }
+            },
+            "--inject" => match it.next().and_then(|v| Fault::parse(v)) {
+                Some(f) => opts.check.inject = Some(f),
+                None => {
+                    eprintln!("repro fuzz: `--inject` needs offset-flip or op-swap");
+                    std::process::exit(2);
+                }
+            },
+            "--corpus" => match it.next() {
+                Some(dir) => opts.corpus_dir = Some(std::path::PathBuf::from(dir)),
+                None => {
+                    eprintln!("repro fuzz: `--corpus` needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("repro fuzz: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !engines.is_empty() {
+        opts.check.engines = engines;
+    }
+
+    println!(
+        "fuzzing {} cases, seed {}, engines [{}]{}",
+        opts.cases,
+        opts.seed,
+        opts.check
+            .engines
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        match opts.check.inject {
+            Some(f) => format!(", injecting {f}"),
+            None => String::new(),
+        }
+    );
+    let summary = run_fuzz(&opts, &mut |line| println!("  {line}"));
+    println!(
+        "checked {} cases (digest {:016x}): {} failure(s){}",
+        summary.cases,
+        summary.digest,
+        summary.failures.len(),
+        if opts.check.inject.is_some() {
+            format!(", fault injected in {} case(s)", summary.injected)
+        } else {
+            String::new()
+        }
+    );
+    if !summary.clean() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let eval = EvalContext::default();
@@ -250,6 +343,7 @@ fn main() {
         "validate" => print!("{}", validate()),
         "bench" => bench(&args[1..]),
         "compare" => compare_cmd(&args[1..]),
+        "fuzz" => fuzz_cmd(&args[1..]),
         "json" => {
             let path = args.get(1).map(String::as_str).unwrap_or("results.json");
             let results = evaluate_all(&eval);
@@ -279,7 +373,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown command `{other}`; expected figure4|figure5|figure6|table1|table2|\
-                 ablation|dse|cycles|ii|validate|bench|compare|json|all"
+                 ablation|dse|cycles|ii|validate|bench|compare|fuzz|json|all"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,159 @@
+//! Reproducer corpus: minimized failing kernels as DSL text files.
+//!
+//! Each reproducer is a plain `.knl` DSL file with a `//`-comment header
+//! recording how it was found (seed, case, engines, failure, injected
+//! fault). The DSL lexer skips comments, so a corpus file parses with
+//! [`shmls_frontend::parse_kernel`] as-is. The committed corpus under
+//! `crates/conformance/corpus/` is replayed by `tests/corpus_replay.rs`
+//! on every `cargo test`: every kernel that ever exposed a divergence is
+//! re-checked against all engines forever.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use shmls_frontend::{kernel_to_source, KernelDef};
+
+use crate::harness::Fault;
+
+/// Provenance recorded in a reproducer header.
+#[derive(Debug, Clone)]
+pub struct ReproMeta {
+    /// Fuzzer seed that found the failure.
+    pub seed: u64,
+    /// Case index under that seed.
+    pub case: u64,
+    /// Failure class (`mismatch`, `deadlock`, …).
+    pub kind: String,
+    /// Human-readable failure description (first line only is kept).
+    pub detail: String,
+    /// Engines that were checked.
+    pub engines: String,
+    /// Fault injected, if the run was a self-test of the harness.
+    pub inject: Option<Fault>,
+    /// Data seed the failure reproduces under.
+    pub data_seed: u64,
+}
+
+/// Render a reproducer file: header comments + DSL source.
+pub fn reproducer_text(kernel: &KernelDef, meta: &ReproMeta) -> String {
+    let mut out = String::new();
+    out.push_str("// conformance reproducer (minimized by the fuzzer's shrinker)\n");
+    out.push_str(&format!(
+        "// found-by: repro fuzz --seed {} (case {}), engines: {}\n",
+        meta.seed, meta.case, meta.engines
+    ));
+    out.push_str(&format!(
+        "// failure: {}: {}\n",
+        meta.kind,
+        meta.detail.lines().next().unwrap_or("")
+    ));
+    if let Some(fault) = meta.inject {
+        out.push_str(&format!(
+            "// injected-fault: {fault} (a harness self-test, not a real miscompile)\n"
+        ));
+    }
+    out.push_str(&format!("// data-seed: {}\n", meta.data_seed));
+    out.push_str(&kernel_to_source(kernel));
+    out
+}
+
+/// Write a reproducer into `dir` (created if missing). The file is named
+/// after the kernel and failure kind so repeated runs overwrite rather
+/// than accumulate: `fuzz_17-mismatch.knl`.
+pub fn write_reproducer(
+    dir: &Path,
+    kernel: &KernelDef,
+    meta: &ReproMeta,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}-{}.knl", kernel.name, meta.kind));
+    std::fs::write(&path, reproducer_text(kernel, meta))?;
+    Ok(path)
+}
+
+/// Load every `.knl` kernel in `dir`, sorted by file name. A missing
+/// directory is an empty corpus.
+pub fn load_corpus(dir: &Path) -> io::Result<Vec<(PathBuf, KernelDef)>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "knl"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)?;
+        let kernel = shmls_frontend::parse_kernel(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })?;
+        out.push((path, kernel));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmls_frontend::parse_kernel;
+
+    #[test]
+    fn reproducers_parse_back() {
+        let k = parse_kernel(
+            "kernel r { grid(4) halo 1 field a : input field b : output \
+             compute b { b = a[-1] } }",
+        )
+        .unwrap();
+        let meta = ReproMeta {
+            seed: 1,
+            case: 17,
+            kind: "mismatch".into(),
+            detail: "engine `hls` disagrees with oracle".into(),
+            engines: "cpu,hls,threaded,cycle".into(),
+            inject: Some(Fault::OffsetFlip),
+            data_seed: 1,
+        };
+        let text = reproducer_text(&k, &meta);
+        let reparsed = parse_kernel(&text).unwrap();
+        assert_eq!(k, reparsed);
+        assert!(text.contains("injected-fault: offset-flip"));
+    }
+
+    #[test]
+    fn corpus_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("shmls-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let k = parse_kernel(
+            "kernel w { grid(3) halo 0 field a : input field b : output \
+             compute b { b = a[0] } }",
+        )
+        .unwrap();
+        let meta = ReproMeta {
+            seed: 2,
+            case: 0,
+            kind: "deadlock".into(),
+            detail: "stage0 blocked".into(),
+            engines: "threaded".into(),
+            inject: None,
+            data_seed: 1,
+        };
+        let path = write_reproducer(&dir, &k, &meta).unwrap();
+        assert!(path.ends_with("w-deadlock.knl"));
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1, k);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_corpus_is_empty() {
+        let loaded = load_corpus(Path::new("/nonexistent/shmls-corpus")).unwrap();
+        assert!(loaded.is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! The fuzzing loop: generate → compile → differential-check → shrink →
+//! persist. This is what `repro fuzz` drives.
+
+use std::path::PathBuf;
+
+use shmls_frontend::{kernel_to_source, KernelDef};
+
+use crate::corpus::{write_reproducer, ReproMeta};
+use crate::generator::{generate, GenOptions};
+use crate::harness::{check_kernel, CheckOptions, Failure};
+use crate::rng::Rng;
+use crate::shrink::shrink;
+
+/// Fuzzing-run configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Number of kernels to generate and check.
+    pub cases: u64,
+    /// Master seed: fixes the exact kernel sequence.
+    pub seed: u64,
+    /// Harness configuration (engines, tolerance, injection, …).
+    pub check: CheckOptions,
+    /// Generator shape limits.
+    pub gen: GenOptions,
+    /// Where to write minimized reproducers (`None` disables writing).
+    pub corpus_dir: Option<PathBuf>,
+    /// Predicate-evaluation budget per shrink.
+    pub shrink_budget: usize,
+    /// Stop after this many failures (each one compiles and runs hundreds
+    /// of shrink candidates; a broken build fails everywhere).
+    pub max_failures: usize,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            cases: 200,
+            seed: 1,
+            check: CheckOptions::default(),
+            gen: GenOptions::default(),
+            corpus_dir: None,
+            shrink_budget: 400,
+            max_failures: 5,
+        }
+    }
+}
+
+/// One failing case, original and minimized.
+#[derive(Debug)]
+pub struct FuzzFailure {
+    /// Case index under the run's seed.
+    pub case: u64,
+    /// The kernel as generated.
+    pub kernel: KernelDef,
+    /// The original failure.
+    pub failure: Failure,
+    /// The minimized kernel (same failure kind).
+    pub shrunk: KernelDef,
+    /// The failure the minimized kernel produces.
+    pub shrunk_failure: Failure,
+    /// Where the reproducer was written, when a corpus dir was given.
+    pub reproducer: Option<PathBuf>,
+}
+
+/// Outcome of a whole fuzzing run.
+#[derive(Debug)]
+pub struct FuzzSummary {
+    /// Cases checked.
+    pub cases: u64,
+    /// Cases where the requested fault was actually injected.
+    pub injected: u64,
+    /// FNV-1a digest over every generated kernel's DSL source — two runs
+    /// with the same seed and case count must print the same digest
+    /// (the CLI surfaces it so determinism is checkable from the shell).
+    pub digest: u64,
+    /// All failures, in case order.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzSummary {
+    /// True when every case agreed on every engine.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run the fuzzer. `log` receives one line per failure and occasional
+/// progress notes (pass `|_| ()` to silence).
+pub fn run_fuzz(opts: &FuzzOptions, log: &mut dyn FnMut(&str)) -> FuzzSummary {
+    let root = Rng::new(opts.seed);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mut injected = 0u64;
+    let mut failures = Vec::new();
+    let mut checked = 0u64;
+
+    for case in 0..opts.cases {
+        let mut rng = root.fork(case);
+        let kernel = generate(&mut rng, case, &opts.gen);
+        for byte in kernel_to_source(&kernel).bytes() {
+            digest = (digest ^ byte as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        checked += 1;
+
+        let report = check_kernel(&kernel, &opts.check);
+        if report.injected {
+            injected += 1;
+        }
+        let Some(failure) = report.failure else {
+            continue;
+        };
+        log(&format!("case {case}: {failure}"));
+
+        // Shrink, preserving the failure *kind* (an offset flip that
+        // mismatches must still mismatch, not merely fail somehow).
+        let kind = failure.kind();
+        let mut still_fails = |candidate: &KernelDef| {
+            check_kernel(candidate, &opts.check)
+                .failure
+                .map(|f| f.kind() == kind)
+                .unwrap_or(false)
+        };
+        let shrunk = shrink(&kernel, opts.shrink_budget, &mut still_fails);
+        let shrunk_failure = check_kernel(&shrunk, &opts.check)
+            .failure
+            .expect("shrunk kernel no longer fails");
+        log(&format!(
+            "case {case}: shrunk {} -> {} DSL lines",
+            kernel_to_source(&kernel).lines().count(),
+            kernel_to_source(&shrunk).lines().count()
+        ));
+
+        let reproducer = opts.corpus_dir.as_ref().and_then(|dir| {
+            let meta = ReproMeta {
+                seed: opts.seed,
+                case,
+                kind: kind.to_string(),
+                detail: shrunk_failure.to_string(),
+                engines: opts
+                    .check
+                    .engines
+                    .iter()
+                    .map(|e| e.name())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                inject: opts.check.inject,
+                data_seed: opts.check.data_seed,
+            };
+            match write_reproducer(dir, &shrunk, &meta) {
+                Ok(path) => {
+                    log(&format!("case {case}: reproducer -> {}", path.display()));
+                    Some(path)
+                }
+                Err(e) => {
+                    log(&format!("case {case}: cannot write reproducer: {e}"));
+                    None
+                }
+            }
+        });
+
+        failures.push(FuzzFailure {
+            case,
+            kernel,
+            failure,
+            shrunk,
+            shrunk_failure,
+            reproducer,
+        });
+        if failures.len() >= opts.max_failures {
+            log(&format!(
+                "stopping after {} failures ({} of {} cases checked)",
+                failures.len(),
+                checked,
+                opts.cases
+            ));
+            break;
+        }
+    }
+
+    FuzzSummary {
+        cases: checked,
+        injected,
+        digest,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Fault;
+
+    /// Small clean run: every generated kernel must agree on every
+    /// engine. This is the in-tree version of the CI smoke pass.
+    #[test]
+    fn small_clean_run_has_no_failures() {
+        let opts = FuzzOptions {
+            cases: 12,
+            seed: 1,
+            ..Default::default()
+        };
+        let summary = run_fuzz(&opts, &mut |_| ());
+        assert_eq!(summary.cases, 12);
+        assert!(
+            summary.clean(),
+            "differential failures: {:?}",
+            summary
+                .failures
+                .iter()
+                .map(|f| f.failure.to_string())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn digest_is_seed_deterministic() {
+        let run = |seed| {
+            let opts = FuzzOptions {
+                cases: 8,
+                seed,
+                // Generation is independent of the engine set; prove it
+                // by checking nothing (cases still generate + digest).
+                check: CheckOptions {
+                    engines: vec![],
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            run_fuzz(&opts, &mut |_| ()).digest
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    /// The acceptance-criteria loop in miniature: an injected miscompile
+    /// must be caught and shrink to a tiny reproducer.
+    #[test]
+    fn injected_fault_is_caught_and_shrunk() {
+        let opts = FuzzOptions {
+            cases: 10,
+            seed: 1,
+            check: CheckOptions {
+                inject: Some(Fault::OffsetFlip),
+                ..Default::default()
+            },
+            max_failures: 1,
+            ..Default::default()
+        };
+        let summary = run_fuzz(&opts, &mut |_| ());
+        assert!(summary.injected > 0, "fault never applied");
+        assert!(
+            !summary.failures.is_empty(),
+            "injected miscompile went undetected"
+        );
+        let f = &summary.failures[0];
+        assert_eq!(f.shrunk_failure.kind(), f.failure.kind());
+        let lines = kernel_to_source(&f.shrunk).lines().count();
+        assert!(lines <= 15, "reproducer too large: {lines} lines");
+    }
+}

@@ -1,0 +1,347 @@
+//! Structured kernel generator: random-but-valid-by-construction
+//! [`KernelDef`]s for differential testing.
+//!
+//! The generator targets the frontend AST directly (not DSL text), so
+//! every emitted kernel satisfies [`KernelDef::validate`] by construction:
+//! access offsets stay within the halo, temporaries are computed before
+//! they are read and only read at offset 0, every output/temp has a
+//! compute, and names are unique. Coverage knobs mirror the paper's
+//! kernel shapes: 1–3D grids, star *and* box neighbourhoods, multi-field
+//! kernels with temporaries, axis-parameter arrays and scalar constants,
+//! and the full intrinsic set.
+
+use shmls_frontend::ast::{
+    build, ComputeDef, ConstDecl, Expr, FieldDecl, FieldKind, Intrinsic, KernelDef, ParamDecl,
+};
+
+use crate::rng::Rng;
+
+/// Tunables for kernel generation. The defaults keep grids tiny (the
+/// sequential/threaded engines interpret every stream element) while
+/// still covering every structural feature.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Largest grid extent per axis.
+    pub max_extent: i64,
+    /// Largest halo (and therefore largest access offset).
+    pub max_halo: i64,
+    /// Maximum expression depth.
+    pub max_depth: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            max_extent: 7,
+            max_halo: 2,
+            max_depth: 4,
+        }
+    }
+}
+
+/// What a compute expression may read: the context threaded through
+/// expression generation.
+struct Scope<'a> {
+    /// Fields readable with arbitrary in-halo offsets (inputs).
+    offset_fields: &'a [String],
+    /// Fields readable only at offset 0 (already-computed temps).
+    centre_fields: &'a [String],
+    params: &'a [ParamDecl],
+    consts: &'a [ConstDecl],
+    rank: usize,
+    halo: i64,
+}
+
+/// Generate one kernel. `case` names the kernel (`fuzz_<case>`); all
+/// structure is drawn from `rng`.
+pub fn generate(rng: &mut Rng, case: u64, opts: &GenOptions) -> KernelDef {
+    let rank = rng.range(1, 3);
+    // Halo 1 dominates (the paper's kernels); halo 2 stresses the deeper
+    // shift registers; halo 0 degenerates to a pointwise map.
+    let halo = match rng.range(0, 7) {
+        0 => 0,
+        1..=5 => 1,
+        _ => 2,
+    }
+    .min(opts.max_halo);
+    let min_extent = (2 * halo + 1).max(3);
+    let grid: Vec<i64> = (0..rank)
+        .map(|_| rng.range_i64(min_extent, opts.max_extent.max(min_extent)))
+        .collect();
+
+    let n_inputs = rng.range(1, 3);
+    let n_temps = rng.range(0, 2);
+    let n_outputs = rng.range(1, 2);
+    let mut fields = Vec::new();
+    let mut inputs = Vec::new();
+    for i in 0..n_inputs {
+        let name = format!("in{i}");
+        inputs.push(name.clone());
+        fields.push(FieldDecl {
+            name,
+            kind: FieldKind::Input,
+        });
+    }
+    let mut temps = Vec::new();
+    for i in 0..n_temps {
+        let name = format!("t{i}");
+        temps.push(name.clone());
+        fields.push(FieldDecl {
+            name,
+            kind: FieldKind::Temp,
+        });
+    }
+    let mut outputs = Vec::new();
+    for i in 0..n_outputs {
+        let name = format!("out{i}");
+        outputs.push(name.clone());
+        fields.push(FieldDecl {
+            name,
+            kind: FieldKind::Output,
+        });
+    }
+
+    let params: Vec<ParamDecl> = (0..rng.range(0, 2))
+        .map(|i| ParamDecl {
+            name: format!("p{i}"),
+            axis: rng.range(0, rank - 1),
+        })
+        .collect();
+    let consts: Vec<ConstDecl> = (0..rng.range(0, 2))
+        .map(|i| ConstDecl {
+            name: format!("c{i}"),
+        })
+        .collect();
+
+    // Temps are computed first (in declaration order), outputs after, so
+    // every temp is readable (at offset 0) by everything downstream.
+    let mut computes = Vec::new();
+    let mut computed_temps: Vec<String> = Vec::new();
+    for target in temps.iter().chain(outputs.iter()) {
+        let scope = Scope {
+            offset_fields: &inputs,
+            centre_fields: &computed_temps,
+            params: &params,
+            consts: &consts,
+            rank,
+            halo,
+        };
+        let depth = rng.range(1, opts.max_depth);
+        let mut expr = gen_expr(rng, &scope, depth);
+        // A compute stage must consume at least one grid value, or the
+        // kernel degenerates to a constant map; splice an access in.
+        if !reads_field(&expr) {
+            expr = build::add(expr, gen_field_access(rng, &scope));
+        }
+        computes.push(ComputeDef {
+            target: target.clone(),
+            expr,
+        });
+        if temps.contains(target) {
+            computed_temps.push(target.clone());
+        }
+    }
+
+    let k = KernelDef {
+        name: format!("fuzz_{case}"),
+        grid,
+        halo,
+        fields,
+        params,
+        consts,
+        computes,
+    };
+    debug_assert!(k.validate().is_ok(), "generator emitted invalid kernel");
+    k
+}
+
+/// Does the expression read any field?
+fn reads_field(e: &Expr) -> bool {
+    match e {
+        Expr::FieldRef { .. } => true,
+        Expr::Num(_) | Expr::ConstRef(_) | Expr::ParamRef { .. } => false,
+        Expr::Neg(inner) => reads_field(inner),
+        Expr::Bin { lhs, rhs, .. } => reads_field(lhs) || reads_field(rhs),
+        Expr::Call { args, .. } => args.iter().any(reads_field),
+    }
+}
+
+/// A random field access: star (one non-zero axis) or box (independent
+/// offsets per axis) neighbourhood, bounded by the halo.
+fn gen_field_access(rng: &mut Rng, scope: &Scope<'_>) -> Expr {
+    // Prefer offsettable inputs; fall back to centre reads of temps.
+    if !scope.offset_fields.is_empty() && (scope.centre_fields.is_empty() || rng.chance(3, 4)) {
+        let name = rng.pick(scope.offset_fields).clone();
+        let mut offsets = vec![0i64; scope.rank];
+        if scope.halo > 0 {
+            if rng.chance(1, 2) {
+                // Star: one axis displaced.
+                let axis = rng.range(0, scope.rank - 1);
+                offsets[axis] = nonzero_offset(rng, scope.halo);
+            } else {
+                // Box: every axis displaced independently (possibly 0).
+                for o in offsets.iter_mut() {
+                    *o = rng.range_i64(-scope.halo, scope.halo);
+                }
+            }
+        }
+        Expr::FieldRef { name, offsets }
+    } else {
+        let name = rng.pick(scope.centre_fields).clone();
+        Expr::FieldRef {
+            name,
+            offsets: vec![0; scope.rank],
+        }
+    }
+}
+
+fn nonzero_offset(rng: &mut Rng, halo: i64) -> i64 {
+    let magnitude = rng.range_i64(1, halo);
+    if rng.chance(1, 2) {
+        magnitude
+    } else {
+        -magnitude
+    }
+}
+
+/// A random leaf: field access, param/const reference, or literal.
+fn gen_leaf(rng: &mut Rng, scope: &Scope<'_>) -> Expr {
+    match rng.range(0, 9) {
+        0..=4 => gen_field_access(rng, scope),
+        5 if !scope.params.is_empty() => {
+            let p = rng.pick(scope.params).clone();
+            let offset = rng.range_i64(-scope.halo, scope.halo);
+            Expr::ParamRef {
+                name: p.name,
+                offset,
+            }
+        }
+        6 if !scope.consts.is_empty() => {
+            Expr::ConstRef(rng.pick(scope.consts).name.clone())
+        }
+        // Literals stay non-negative: the parser represents `-3.0` as
+        // `Neg(Num(3.0))`, so a negative `Num` would not round-trip
+        // through the DSL printer AST-exactly.
+        _ => {
+            let lit = build::num(rng.coarse_f64(0.0, 2.0));
+            if rng.chance(1, 4) {
+                build::neg(lit)
+            } else {
+                lit
+            }
+        }
+    }
+}
+
+/// A random expression of at most `depth` further levels.
+fn gen_expr(rng: &mut Rng, scope: &Scope<'_>, depth: usize) -> Expr {
+    if depth == 0 {
+        return gen_leaf(rng, scope);
+    }
+    match rng.range(0, 9) {
+        // Binary arithmetic dominates, like real stencils.
+        0..=2 => build::add(gen_expr(rng, scope, depth - 1), gen_expr(rng, scope, depth - 1)),
+        3..=4 => build::sub(gen_expr(rng, scope, depth - 1), gen_expr(rng, scope, depth - 1)),
+        5..=6 => build::mul(gen_expr(rng, scope, depth - 1), gen_expr(rng, scope, depth - 1)),
+        // Division by a non-zero literal only: all engines execute the
+        // same IEEE ops so even inf/NaN would agree bitwise, but a NaN
+        // that floods an output field masks genuine single-point
+        // mismatches (NaN == NaN here), gutting the oracle's power.
+        7 => {
+            let denom = build::num(rng.coarse_f64(0.5, 2.5));
+            let denom = if rng.chance(1, 2) {
+                build::neg(denom)
+            } else {
+                denom
+            };
+            build::div(gen_expr(rng, scope, depth - 1), denom)
+        }
+        8 => build::neg(gen_expr(rng, scope, depth - 1)),
+        _ => {
+            let f = *rng.pick(&[
+                Intrinsic::Abs,
+                Intrinsic::Min,
+                Intrinsic::Max,
+                Intrinsic::Sign,
+                Intrinsic::Sqrt,
+            ]);
+            let args: Vec<Expr> = match f {
+                // sqrt over |x| keeps NaN out (see the division note).
+                Intrinsic::Sqrt => vec![build::call(
+                    Intrinsic::Abs,
+                    vec![gen_expr(rng, scope, depth - 1)],
+                )],
+                _ => (0..f.arity())
+                    .map(|_| gen_expr(rng, scope, depth - 1))
+                    .collect(),
+            };
+            build::call(f, args)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_kernels_validate() {
+        let root = Rng::new(1);
+        for case in 0..200 {
+            let mut rng = root.fork(case);
+            let k = generate(&mut rng, case, &GenOptions::default());
+            k.validate()
+                .unwrap_or_else(|e| panic!("case {case} invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen_all = || -> Vec<String> {
+            let root = Rng::new(99);
+            (0..50)
+                .map(|case| {
+                    let mut rng = root.fork(case);
+                    shmls_frontend::kernel_to_source(&generate(
+                        &mut rng,
+                        case,
+                        &GenOptions::default(),
+                    ))
+                })
+                .collect()
+        };
+        assert_eq!(gen_all(), gen_all());
+    }
+
+    #[test]
+    fn coverage_reaches_every_feature() {
+        let root = Rng::new(1);
+        let (mut ranks, mut halos) = (std::collections::BTreeSet::new(), std::collections::BTreeSet::new());
+        let (mut saw_temp, mut saw_param, mut saw_const) = (false, false, false);
+        for case in 0..300 {
+            let mut rng = root.fork(case);
+            let k = generate(&mut rng, case, &GenOptions::default());
+            ranks.insert(k.rank());
+            halos.insert(k.halo);
+            saw_temp |= k.fields.iter().any(|f| f.kind == FieldKind::Temp);
+            saw_param |= !k.params.is_empty();
+            saw_const |= !k.consts.is_empty();
+        }
+        assert_eq!(ranks.len(), 3, "all ranks 1–3 generated");
+        assert!(halos.len() >= 2, "multiple halos generated: {halos:?}");
+        assert!(saw_temp && saw_param && saw_const);
+    }
+
+    #[test]
+    fn generated_kernels_round_trip_through_dsl() {
+        let root = Rng::new(5);
+        for case in 0..100 {
+            let mut rng = root.fork(case);
+            let k = generate(&mut rng, case, &GenOptions::default());
+            let src = shmls_frontend::kernel_to_source(&k);
+            let reparsed = shmls_frontend::parse_kernel(&src)
+                .unwrap_or_else(|e| panic!("case {case} does not re-parse: {e}\n{src}"));
+            assert_eq!(k, reparsed, "case {case} round-trip changed the AST:\n{src}");
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! The differential harness: compile one kernel, run it on every engine,
+//! compare against the interpreter oracle.
+//!
+//! The oracle is the pure IR interpreter executing the *stencil-dialect*
+//! function in sequential program order. That is a valid reference for
+//! every dataflow engine because the generated design is a Kahn process
+//! network: each stage is a deterministic sequential process and the
+//! streams are unbounded-in-principle FIFOs, so by the Kahn principle the
+//! network's history is independent of scheduling — sequential order is
+//! one legal schedule, and every engine must produce its values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use shmls_fpga_sim::cycle::simulate;
+use shmls_fpga_sim::design::DesignDescriptor;
+use shmls_frontend::{FieldKind, KernelDef};
+use shmls_ir::attributes::Attribute;
+use shmls_ir::interp::Buffer;
+use stencil_hmls::runner::{run_cpu, run_hls, run_hls_threaded, run_stencil, KernelData};
+use stencil_hmls::{compile_kernel, CompileOptions, CompiledKernel, TargetPath};
+
+use crate::rng::Rng;
+
+/// One engine under test (the oracle itself is not listed: every check is
+/// *against* it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Von-Neumann loop-nest lowering, interpreted.
+    Cpu,
+    /// Sequential Kahn executor over the HLS dataflow design.
+    Hls,
+    /// Threaded engine: one OS thread per stage, bounded FIFOs.
+    Threaded,
+    /// Cycle-stepped token simulator (checked for deadlock-free
+    /// completion and full drain — it models time, not values).
+    Cycle,
+}
+
+impl Engine {
+    /// Every engine, in check order.
+    pub const ALL: [Engine; 4] = [Engine::Cpu, Engine::Hls, Engine::Threaded, Engine::Cycle];
+
+    /// CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Cpu => "cpu",
+            Engine::Hls => "hls",
+            Engine::Threaded => "threaded",
+            Engine::Cycle => "cycle",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Option<Engine> {
+        Engine::ALL.iter().copied().find(|e| e.name() == name)
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A deliberate miscompile, injected into the *compiled* design after the
+/// oracle's IR is fixed — the debug hook that proves the harness can see
+/// real bugs (ISSUE 3 acceptance: an injected fault must be caught and
+/// shrunk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Flip one window access: bump the first compute-stage
+    /// `llvm.extractvalue` position by one window slot — exactly the
+    /// "flipped access offset" class of stencil miscompile.
+    OffsetFlip,
+    /// Swap the first `arith.addf` in the HLS function to `arith.subf`.
+    OpSwap,
+}
+
+impl Fault {
+    /// CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::OffsetFlip => "offset-flip",
+            Fault::OpSwap => "op-swap",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Option<Fault> {
+        [Fault::OffsetFlip, Fault::OpSwap]
+            .into_iter()
+            .find(|f| f.name() == name)
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a case failed. Carries enough context to be actionable without the
+/// full IR (which `CompiledKernel::snapshots` provides when enabled).
+#[derive(Debug, Clone)]
+pub enum Failure {
+    /// The pipeline rejected a valid generated kernel.
+    Compile(String),
+    /// The oracle itself failed to execute.
+    Oracle(String),
+    /// An engine returned an error.
+    Engine {
+        /// Which engine.
+        engine: Engine,
+        /// Its error text.
+        error: String,
+    },
+    /// An engine completed with values disagreeing with the oracle.
+    Mismatch {
+        /// Which engine.
+        engine: Engine,
+        /// Output field with the worst disagreement.
+        field: String,
+        /// Interior point of the worst disagreement.
+        point: Vec<i64>,
+        /// Oracle value there.
+        expect: f64,
+        /// Engine value there.
+        got: f64,
+        /// ULP distance (`u64::MAX` when only one side is NaN).
+        ulps: u64,
+    },
+    /// An engine deadlocked.
+    Deadlock {
+        /// Which engine.
+        engine: Engine,
+        /// The engine's structured report, rendered.
+        report: String,
+    },
+}
+
+impl Failure {
+    /// Stable one-word class, used by the shrinker to preserve the
+    /// failure kind and by reproducer headers.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Failure::Compile(_) => "compile-error",
+            Failure::Oracle(_) => "oracle-error",
+            Failure::Engine { .. } => "engine-error",
+            Failure::Mismatch { .. } => "mismatch",
+            Failure::Deadlock { .. } => "deadlock",
+        }
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::Compile(e) => write!(f, "compile error: {e}"),
+            Failure::Oracle(e) => write!(f, "oracle error: {e}"),
+            Failure::Engine { engine, error } => write!(f, "engine `{engine}` error: {error}"),
+            Failure::Mismatch {
+                engine,
+                field,
+                point,
+                expect,
+                got,
+                ulps,
+            } => write!(
+                f,
+                "engine `{engine}` disagrees with oracle on `{field}` at {point:?}: \
+                 expected {expect:e}, got {got:e} ({ulps} ulps)"
+            ),
+            Failure::Deadlock { engine, report } => {
+                write!(f, "engine `{engine}` deadlocked:\n{report}")
+            }
+        }
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Engines to check (the oracle always runs).
+    pub engines: Vec<Engine>,
+    /// Largest tolerated ULP distance per point. The engines execute the
+    /// same f64 operation sequence, so the default is exact agreement.
+    pub max_ulps: u64,
+    /// Threaded-engine watchdog before a run is declared deadlocked.
+    pub watchdog: Duration,
+    /// Inject this fault into the compiled design before the engine runs.
+    pub inject: Option<Fault>,
+    /// Seed for the generated input data.
+    pub data_seed: u64,
+    /// Capture per-stage IR snapshots on the compiled kernel.
+    pub snapshots: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            engines: Engine::ALL.to_vec(),
+            max_ulps: 0,
+            watchdog: Duration::from_secs(20),
+            inject: None,
+            data_seed: 1,
+            snapshots: false,
+        }
+    }
+}
+
+/// Result of checking one kernel.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// The first failure, if any.
+    pub failure: Option<Failure>,
+    /// Whether a requested fault was actually injected (a fault can be
+    /// inapplicable, e.g. `offset-flip` on a halo-0 single-slot window).
+    pub injected: bool,
+    /// Per-stage IR snapshots when [`CheckOptions::snapshots`] is set.
+    pub snapshots: Vec<(String, String)>,
+}
+
+/// Compile `kernel` and check every configured engine against the oracle.
+pub fn check_kernel(kernel: &KernelDef, opts: &CheckOptions) -> CheckReport {
+    let needs_cpu = opts.engines.contains(&Engine::Cpu);
+    let compile_opts = CompileOptions {
+        paths: if needs_cpu {
+            TargetPath::HlsAndCpu
+        } else {
+            TargetPath::HlsOnly
+        },
+        time_passes: false,
+        snapshots: opts.snapshots,
+        ..Default::default()
+    };
+    let mut compiled = match compile_kernel(kernel.clone(), &compile_opts) {
+        Ok(c) => c,
+        Err(e) => {
+            return CheckReport {
+                failure: Some(Failure::Compile(e.to_string())),
+                injected: false,
+                snapshots: Vec::new(),
+            }
+        }
+    };
+
+    let data = make_data(kernel, opts.data_seed);
+
+    // The oracle runs on the pristine design; faults are injected after,
+    // so only the engines see the miscompile.
+    let oracle = match run_stencil(&compiled, &data) {
+        Ok(o) => o,
+        Err(e) => {
+            return CheckReport {
+                failure: Some(Failure::Oracle(e.to_string())),
+                injected: false,
+                snapshots: std::mem::take(&mut compiled.snapshots),
+            }
+        }
+    };
+
+    let injected = match opts.inject {
+        Some(fault) => inject_fault(&mut compiled, fault),
+        None => false,
+    };
+
+    let mut failure = None;
+    for &engine in &opts.engines {
+        if let Some(f) = check_engine(engine, &compiled, &data, &oracle, opts) {
+            failure = Some(f);
+            break;
+        }
+    }
+    CheckReport {
+        failure,
+        injected,
+        snapshots: std::mem::take(&mut compiled.snapshots),
+    }
+}
+
+fn check_engine(
+    engine: Engine,
+    compiled: &CompiledKernel,
+    data: &KernelData,
+    oracle: &BTreeMap<String, Buffer>,
+    opts: &CheckOptions,
+) -> Option<Failure> {
+    let compare = |out: &BTreeMap<String, Buffer>| {
+        compare_outputs(engine, &compiled.kernel, oracle, out, opts.max_ulps)
+    };
+    match engine {
+        Engine::Cpu => match run_cpu(compiled, data) {
+            Ok(out) => compare(&out),
+            Err(e) => Some(Failure::Engine {
+                engine,
+                error: e.to_string(),
+            }),
+        },
+        Engine::Hls => match run_hls(compiled, data) {
+            Ok((out, _stats)) => compare(&out),
+            Err(e) => Some(Failure::Engine {
+                engine,
+                error: e.to_string(),
+            }),
+        },
+        Engine::Threaded => match run_hls_threaded(compiled, data, opts.watchdog) {
+            Ok(Ok(out)) => compare(&out),
+            Ok(Err(report)) => Some(Failure::Deadlock {
+                engine,
+                report: report.to_string(),
+            }),
+            Err(e) => Some(Failure::Engine {
+                engine,
+                error: e.to_string(),
+            }),
+        },
+        Engine::Cycle => {
+            let design = match DesignDescriptor::from_hls_func(&compiled.ctx, compiled.hls_func) {
+                Ok(d) => d,
+                Err(e) => {
+                    return Some(Failure::Engine {
+                        engine,
+                        error: e.to_string(),
+                    })
+                }
+            };
+            match simulate(&design, None) {
+                // `simulate` only returns Ok when every stage finished:
+                // the design drains completely at declared FIFO depths.
+                Ok(_report) => None,
+                Err(report) => Some(Failure::Deadlock {
+                    engine,
+                    report: report.to_string(),
+                }),
+            }
+        }
+    }
+}
+
+/// Deterministic input data for a kernel: every input/inout field, every
+/// axis parameter, every scalar constant. Values are small and irregular
+/// so a flipped access or dropped term moves some interior point.
+pub fn make_data(kernel: &KernelDef, data_seed: u64) -> KernelData {
+    let bounds =
+        shmls_ir::types::StencilBounds::from_extents(&kernel.grid).grown(kernel.halo);
+    let mut data = KernelData::default();
+    let root = Rng::new(data_seed);
+    let mut stream = 0u64;
+    for field in &kernel.fields {
+        if matches!(field.kind, FieldKind::Input | FieldKind::InOut) {
+            let mut rng = root.fork(stream);
+            let mut buf = Buffer::zeroed(bounds.extents(), bounds.lb.clone());
+            for v in buf.data.iter_mut() {
+                *v = rng.coarse_f64(-4.0, 4.0);
+            }
+            data = data.buffer(&field.name, buf);
+        }
+        stream += 1;
+    }
+    for p in &kernel.params {
+        let mut rng = root.fork(stream);
+        let extent = kernel.grid[p.axis] + 2 * kernel.halo;
+        let mut buf = Buffer::zeroed(vec![extent], vec![0]);
+        for v in buf.data.iter_mut() {
+            *v = rng.coarse_f64(-2.0, 2.0);
+        }
+        data = data.buffer(&p.name, buf);
+        stream += 1;
+    }
+    for c in &kernel.consts {
+        let mut rng = root.fork(stream);
+        data = data.scalar(&c.name, rng.coarse_f64(-2.0, 2.0));
+        stream += 1;
+    }
+    data
+}
+
+/// Compare engine outputs to the oracle over the grid interior (neither
+/// side produces halo values). Returns the worst-offending point.
+fn compare_outputs(
+    engine: Engine,
+    kernel: &KernelDef,
+    oracle: &BTreeMap<String, Buffer>,
+    out: &BTreeMap<String, Buffer>,
+    max_ulps: u64,
+) -> Option<Failure> {
+    let lb = vec![0i64; kernel.rank()];
+    let mut worst: Option<(u64, String, Vec<i64>, f64, f64)> = None;
+    for (name, expect_buf) in oracle {
+        let Some(got_buf) = out.get(name) else {
+            return Some(Failure::Engine {
+                engine,
+                error: format!("output `{name}` missing from engine results"),
+            });
+        };
+        for p in shmls_ir::interp::iter_box(&lb, &kernel.grid) {
+            let expect = expect_buf.load(&p).unwrap_or(f64::NAN);
+            let got = got_buf.load(&p).unwrap_or(f64::NAN);
+            let d = ulp_distance(expect, got);
+            if d > max_ulps && worst.as_ref().map_or(true, |(w, ..)| d > *w) {
+                worst = Some((d, name.clone(), p, expect, got));
+            }
+        }
+    }
+    worst.map(|(ulps, field, point, expect, got)| Failure::Mismatch {
+        engine,
+        field,
+        point,
+        expect,
+        got,
+        ulps,
+    })
+}
+
+/// ULP distance between two doubles under IEEE total order. Equal values
+/// (including `-0.0 == 0.0`) and NaN-vs-NaN are distance 0; NaN against a
+/// number is `u64::MAX`.
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a == b || (a.is_nan() && b.is_nan()) {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    fn key(x: f64) -> u64 {
+        let bits = x.to_bits();
+        if bits & (1 << 63) != 0 {
+            !bits
+        } else {
+            bits | (1 << 63)
+        }
+    }
+    key(a).abs_diff(key(b))
+}
+
+/// Inject `fault` into the compiled design's HLS function. Returns
+/// whether anything was mutated (the fault may be inapplicable).
+pub fn inject_fault(compiled: &mut CompiledKernel, fault: Fault) -> bool {
+    match fault {
+        Fault::OffsetFlip => {
+            let window = compiled.report.window_elems as i64;
+            if window <= 1 {
+                return false; // single-slot window: no offset to flip
+            }
+            for op in compiled.ctx.walk_collect(compiled.hls_func) {
+                if compiled.ctx.op_name(op) != "llvm.extractvalue" {
+                    continue;
+                }
+                if let Some(Attribute::IndexArray(pos)) = compiled.ctx.attr(op, "position") {
+                    if pos.len() == 2 && pos[1] < window {
+                        let mut flipped = pos.clone();
+                        flipped[1] = (flipped[1] + 1) % window;
+                        compiled
+                            .ctx
+                            .set_attr(op, "position", Attribute::IndexArray(flipped));
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        Fault::OpSwap => {
+            for op in compiled.ctx.walk_collect(compiled.hls_func) {
+                if compiled.ctx.op_name(op) == "arith.addf" {
+                    compiled.ctx.set_op_name(op, "arith.subf");
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmls_frontend::parse_kernel;
+
+    const SRC: &str = r#"
+kernel h {
+  grid(6, 5)
+  halo 1
+  field a : input
+  field b : output
+  compute b { b = a[-1,0] + a[1,0] + a[0,-1] }
+}
+"#;
+
+    #[test]
+    fn clean_kernel_passes_all_engines() {
+        let k = parse_kernel(SRC).unwrap();
+        let report = check_kernel(&k, &CheckOptions::default());
+        assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+        assert!(!report.injected);
+    }
+
+    #[test]
+    fn offset_flip_is_caught() {
+        let k = parse_kernel(SRC).unwrap();
+        let opts = CheckOptions {
+            inject: Some(Fault::OffsetFlip),
+            ..Default::default()
+        };
+        let report = check_kernel(&k, &opts);
+        assert!(report.injected);
+        match report.failure {
+            Some(Failure::Mismatch { .. }) => {}
+            other => panic!("expected a mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn op_swap_is_caught() {
+        let k = parse_kernel(SRC).unwrap();
+        let opts = CheckOptions {
+            inject: Some(Fault::OpSwap),
+            ..Default::default()
+        };
+        let report = check_kernel(&k, &opts);
+        assert!(report.injected);
+        match report.failure {
+            Some(Failure::Mismatch { .. }) => {}
+            other => panic!("expected a mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cpu_engine_unaffected_by_hls_fault() {
+        // The fault mutates only the HLS function: the CPU lowering must
+        // still agree with the oracle, localising the blame.
+        let k = parse_kernel(SRC).unwrap();
+        let opts = CheckOptions {
+            engines: vec![Engine::Cpu],
+            inject: Some(Fault::OffsetFlip),
+            ..Default::default()
+        };
+        let report = check_kernel(&k, &opts);
+        assert!(report.injected);
+        assert!(report.failure.is_none());
+    }
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(f64::NAN, f64::NAN), 0);
+        assert_eq!(ulp_distance(1.0, f64::NAN), u64::MAX);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0_f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(-1.0, f64::from_bits((-1.0_f64).to_bits() + 1)), 1);
+        assert!(ulp_distance(-1.0, 1.0) > 1 << 60);
+    }
+}

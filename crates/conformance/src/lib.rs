@@ -1,0 +1,42 @@
+//! # shmls-conformance — cross-engine differential conformance
+//!
+//! The pipeline can execute one stencil program four ways: the pure IR
+//! interpreter on the stencil dialect (the **oracle**), the CPU loop-nest
+//! lowering, the sequential Kahn executor and the threaded engine on the
+//! HLS dataflow design, and the cycle-stepped simulator on the extracted
+//! [`DesignDescriptor`](shmls_fpga_sim::design::DesignDescriptor). The
+//! paper's claim is that the stencil→HLS restructuring is
+//! semantics-preserving; this crate checks that claim on *generated*
+//! programs, not just the two curated paper kernels:
+//!
+//! - [`generator`] — a seeded structured generator emitting
+//!   random-but-valid frontend kernels (1–3 fields, star/box
+//!   neighbourhoods, temporaries, params/consts, 1–3D grids),
+//! - [`harness`] — compiles each kernel once and compares every engine
+//!   against the oracle with a configurable ULP tolerance, with a
+//!   fault-injection hook ([`harness::Fault`]) that proves the harness
+//!   detects real miscompiles,
+//! - [`shrink`] — minimizes a failing kernel (dropping computes and
+//!   fields, shrinking grids and halos, simplifying expressions) while
+//!   the failure kind reproduces,
+//! - [`corpus`] — persists minimized reproducers as committed `.knl`
+//!   files that `tests/corpus_replay.rs` re-checks on every `cargo test`,
+//! - [`fuzz`] — the loop tying it together, driven by `repro fuzz`.
+//!
+//! Determinism is load-bearing: the same `--seed` produces byte-identical
+//! kernels on every host (the crate carries its own SplitMix64 [`rng`]),
+//! and [`fuzz::FuzzSummary::digest`] lets CI prove it.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod fuzz;
+pub mod generator;
+pub mod harness;
+pub mod rng;
+pub mod shrink;
+
+pub use fuzz::{run_fuzz, FuzzOptions, FuzzSummary};
+pub use generator::{generate, GenOptions};
+pub use harness::{check_kernel, CheckOptions, Engine, Failure, Fault};
+pub use shrink::shrink;

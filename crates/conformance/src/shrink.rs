@@ -1,0 +1,359 @@
+//! Kernel minimisation: given a failing kernel and a predicate that
+//! re-checks the failure, produce the smallest kernel (greedy, to a
+//! fixpoint) that still fails.
+//!
+//! Reductions, largest first:
+//! 1. drop a compute together with its target field,
+//! 2. drop unreferenced declarations (fields/params/consts),
+//! 3. drop the last grid axis,
+//! 4. shrink grid extents,
+//! 5. reduce the halo,
+//! 6. simplify compute expressions (hoist children, zero offsets,
+//!    collapse subtrees to a literal).
+//!
+//! Every candidate must pass [`KernelDef::validate`] *and* the caller's
+//! predicate; the predicate is charged against a budget so shrinking a
+//! pathological case cannot run away (each predicate call compiles and
+//! executes the kernel on every engine).
+
+use shmls_frontend::ast::{build, Expr, KernelDef};
+
+/// Minimise `kernel` under `still_fails`, spending at most `budget`
+/// predicate evaluations. `kernel` itself is assumed to fail.
+pub fn shrink(
+    kernel: &KernelDef,
+    budget: usize,
+    still_fails: &mut dyn FnMut(&KernelDef) -> bool,
+) -> KernelDef {
+    let mut best = kernel.clone();
+    let mut remaining = budget;
+    let mut accept = |candidate: &KernelDef, remaining: &mut usize| -> bool {
+        if *remaining == 0 || candidate.validate().is_err() {
+            return false;
+        }
+        *remaining -= 1;
+        still_fails(candidate)
+    };
+
+    loop {
+        let mut progressed = false;
+        for candidate in candidates(&best) {
+            if accept(&candidate, &mut remaining) {
+                best = candidate;
+                progressed = true;
+                break; // restart: earlier (larger) reductions may now apply
+            }
+        }
+        if !progressed || remaining == 0 {
+            return best;
+        }
+    }
+}
+
+/// All single-step reductions of `kernel`, largest first. Invalid
+/// candidates are cheap to produce and filtered by the caller.
+fn candidates(k: &KernelDef) -> Vec<KernelDef> {
+    let mut out = Vec::new();
+
+    // 1. Drop a compute and its target field (later computes first: they
+    // are never depended upon by earlier ones).
+    for i in (0..k.computes.len()).rev() {
+        let mut c = k.clone();
+        let target = c.computes.remove(i).target;
+        c.fields.retain(|f| f.name != target);
+        out.push(c);
+    }
+
+    // 2. Drop unreferenced declarations.
+    {
+        let mut c = k.clone();
+        let mut referenced = std::collections::BTreeSet::new();
+        for compute in &c.computes {
+            collect_refs(&compute.expr, &mut referenced);
+            referenced.insert(compute.target.clone());
+        }
+        let before =
+            (c.fields.len(), c.params.len(), c.consts.len());
+        c.fields.retain(|f| referenced.contains(&f.name));
+        c.params.retain(|p| referenced.contains(&p.name));
+        c.consts.retain(|d| referenced.contains(&d.name));
+        if (c.fields.len(), c.params.len(), c.consts.len()) != before {
+            out.push(c);
+        }
+    }
+
+    // 3. Drop the last grid axis (truncating accesses to the new rank).
+    if k.rank() > 1 {
+        let mut c = k.clone();
+        c.grid.pop();
+        let rank = c.grid.len();
+        c.params.retain(|p| p.axis < rank);
+        for compute in c.computes.iter_mut() {
+            truncate_offsets(&mut compute.expr, rank);
+        }
+        out.push(c);
+    }
+
+    // 4. Shrink grid extents: jump to the minimum, then halve, then step.
+    let min_extent = (2 * k.halo + 1).max(1);
+    for axis in 0..k.rank() {
+        let e = k.grid[axis];
+        for target in [min_extent, (e + min_extent) / 2, e - 1] {
+            if target < e && target >= min_extent {
+                let mut c = k.clone();
+                c.grid[axis] = target;
+                out.push(c);
+            }
+        }
+    }
+
+    // 5. Reduce the halo to the largest offset actually used.
+    {
+        let mut used = 0i64;
+        for compute in &k.computes {
+            max_offset(&compute.expr, &mut used);
+        }
+        if used < k.halo {
+            let mut c = k.clone();
+            c.halo = used;
+            out.push(c);
+        }
+    }
+
+    // 6. Simplify expressions, one subtree at a time.
+    for (ci, compute) in k.computes.iter().enumerate() {
+        let n = subtree_count(&compute.expr);
+        for idx in 0..n {
+            for replacement in reductions_at(&compute.expr, idx) {
+                let mut c = k.clone();
+                c.computes[ci].expr = replace_subtree(&compute.expr, idx, &replacement);
+                out.push(c);
+            }
+        }
+    }
+
+    out
+}
+
+/// Collect every field/param/const name an expression references.
+fn collect_refs(e: &Expr, out: &mut std::collections::BTreeSet<String>) {
+    match e {
+        Expr::Num(_) => {}
+        Expr::ConstRef(name) => {
+            out.insert(name.clone());
+        }
+        Expr::FieldRef { name, .. } | Expr::ParamRef { name, .. } => {
+            out.insert(name.clone());
+        }
+        Expr::Neg(inner) => collect_refs(inner, out),
+        Expr::Bin { lhs, rhs, .. } => {
+            collect_refs(lhs, out);
+            collect_refs(rhs, out);
+        }
+        Expr::Call { args, .. } => args.iter().for_each(|a| collect_refs(a, out)),
+    }
+}
+
+/// Truncate every field access to `rank` offsets.
+fn truncate_offsets(e: &mut Expr, rank: usize) {
+    match e {
+        Expr::FieldRef { offsets, .. } => offsets.truncate(rank),
+        Expr::Neg(inner) => truncate_offsets(inner, rank),
+        Expr::Bin { lhs, rhs, .. } => {
+            truncate_offsets(lhs, rank);
+            truncate_offsets(rhs, rank);
+        }
+        Expr::Call { args, .. } => args.iter_mut().for_each(|a| truncate_offsets(a, rank)),
+        Expr::Num(_) | Expr::ConstRef(_) | Expr::ParamRef { .. } => {}
+    }
+}
+
+/// Track the largest |offset| used by any access.
+fn max_offset(e: &Expr, worst: &mut i64) {
+    match e {
+        Expr::FieldRef { offsets, .. } => {
+            for &o in offsets {
+                *worst = (*worst).max(o.abs());
+            }
+        }
+        Expr::ParamRef { offset, .. } => *worst = (*worst).max(offset.abs()),
+        Expr::Neg(inner) => max_offset(inner, worst),
+        Expr::Bin { lhs, rhs, .. } => {
+            max_offset(lhs, worst);
+            max_offset(rhs, worst);
+        }
+        Expr::Call { args, .. } => args.iter().for_each(|a| max_offset(a, worst)),
+        Expr::Num(_) | Expr::ConstRef(_) => {}
+    }
+}
+
+/// Number of nodes, preorder.
+fn subtree_count(e: &Expr) -> usize {
+    1 + match e {
+        Expr::Neg(inner) => subtree_count(inner),
+        Expr::Bin { lhs, rhs, .. } => subtree_count(lhs) + subtree_count(rhs),
+        Expr::Call { args, .. } => args.iter().map(subtree_count).sum(),
+        _ => 0,
+    }
+}
+
+/// The subtree at preorder index `idx`.
+fn subtree_at(e: &Expr, idx: usize) -> &Expr {
+    fn walk<'a>(e: &'a Expr, idx: &mut usize) -> Option<&'a Expr> {
+        if *idx == 0 {
+            return Some(e);
+        }
+        *idx -= 1;
+        match e {
+            Expr::Neg(inner) => walk(inner, idx),
+            Expr::Bin { lhs, rhs, .. } => walk(lhs, idx).or_else(|| walk(rhs, idx)),
+            Expr::Call { args, .. } => args.iter().find_map(|a| walk(a, idx)),
+            _ => None,
+        }
+    }
+    let mut i = idx;
+    walk(e, &mut i).expect("subtree index in range")
+}
+
+/// Copy of `e` with the subtree at preorder index `idx` replaced.
+fn replace_subtree(e: &Expr, idx: usize, new: &Expr) -> Expr {
+    fn walk(e: &Expr, idx: &mut usize, new: &Expr) -> Expr {
+        if *idx == 0 {
+            *idx = usize::MAX; // consumed
+            return new.clone();
+        }
+        *idx -= 1;
+        match e {
+            Expr::Neg(inner) => Expr::Neg(Box::new(walk(inner, idx, new))),
+            Expr::Bin { op, lhs, rhs } => {
+                let l = walk(lhs, idx, new);
+                let r = if *idx == usize::MAX {
+                    rhs.as_ref().clone()
+                } else {
+                    walk(rhs, idx, new)
+                };
+                Expr::Bin {
+                    op: *op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                }
+            }
+            Expr::Call { f, args } => {
+                let mut done = false;
+                let args = args
+                    .iter()
+                    .map(|a| {
+                        if done || *idx == usize::MAX {
+                            done = true;
+                            a.clone()
+                        } else {
+                            walk(a, idx, new)
+                        }
+                    })
+                    .collect();
+                Expr::Call { f: *f, args }
+            }
+            other => other.clone(),
+        }
+    }
+    let mut i = idx;
+    walk(e, &mut i, new)
+}
+
+/// Smaller expressions to try in place of the subtree at `idx`: its
+/// children (hoisting), a centre-point copy of an access, then `1.0`.
+fn reductions_at(root: &Expr, idx: usize) -> Vec<Expr> {
+    let node = subtree_at(root, idx);
+    let mut out = Vec::new();
+    match node {
+        Expr::Neg(inner) => out.push(inner.as_ref().clone()),
+        Expr::Bin { lhs, rhs, .. } => {
+            out.push(lhs.as_ref().clone());
+            out.push(rhs.as_ref().clone());
+        }
+        Expr::Call { args, .. } => out.extend(args.iter().cloned()),
+        Expr::FieldRef { name, offsets } if offsets.iter().any(|&o| o != 0) => {
+            out.push(Expr::FieldRef {
+                name: name.clone(),
+                offsets: vec![0; offsets.len()],
+            });
+        }
+        _ => {}
+    }
+    if !matches!(node, Expr::Num(_)) {
+        out.push(build::num(1.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmls_frontend::{kernel_to_source, parse_kernel};
+
+    const WIDE: &str = r#"
+kernel wide {
+  grid(7, 7)
+  halo 2
+  field a : input
+  field b : input
+  field t0 : temp
+  field out0 : output
+  field out1 : output
+  const c0
+  compute t0 { t0 = a[-2,0] * 0.5 + b[0,2] }
+  compute out0 { out0 = t0[0,0] + c0 * a[1,1] }
+  compute out1 { out1 = b[0,-1] - a[2,0] / 2.0 }
+}
+"#;
+
+    #[test]
+    fn shrinks_to_single_access_when_anything_fails() {
+        // Predicate: "fails" whenever the kernel still reads field `a`
+        // anywhere — the shrinker should strip everything else.
+        let k = parse_kernel(WIDE).unwrap();
+        let mut pred = |c: &KernelDef| {
+            let mut refs = std::collections::BTreeSet::new();
+            for comp in &c.computes {
+                collect_refs(&comp.expr, &mut refs);
+            }
+            refs.contains("a")
+        };
+        let small = shrink(&k, 2000, &mut pred);
+        assert!(pred(&small));
+        small.validate().unwrap();
+        let src = kernel_to_source(&small);
+        assert!(
+            src.lines().count() <= 8,
+            "expected a minimal kernel, got:\n{src}"
+        );
+        assert_eq!(small.computes.len(), 1);
+        assert!(small.consts.is_empty());
+        assert_eq!(small.rank(), 1, "axis dropping should reach 1D:\n{src}");
+    }
+
+    #[test]
+    fn subtree_surgery_round_trips() {
+        let k = parse_kernel(WIDE).unwrap();
+        let e = &k.computes[0].expr;
+        let n = subtree_count(e);
+        assert!(n >= 5);
+        for idx in 0..n {
+            // Replacing a subtree with itself is the identity.
+            let same = replace_subtree(e, idx, &subtree_at(e, idx).clone());
+            assert_eq!(&same, e, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let k = parse_kernel(WIDE).unwrap();
+        let mut calls = 0usize;
+        let mut pred = |_: &KernelDef| {
+            calls += 1;
+            true
+        };
+        let _ = shrink(&k, 10, &mut pred);
+        assert!(calls <= 10, "predicate called {calls} times");
+    }
+}

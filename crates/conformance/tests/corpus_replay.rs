@@ -1,0 +1,33 @@
+//! Replay the committed reproducer corpus on every `cargo test`.
+//!
+//! Every `.knl` file under `crates/conformance/corpus/` is a kernel that
+//! once exposed a cross-engine divergence (or was written by a harness
+//! self-test with an injected fault). Replaying them *without* injection
+//! asserts the corresponding bugs stay fixed: each kernel must compile
+//! and agree on every engine.
+
+use std::path::Path;
+
+use shmls_conformance::corpus::load_corpus;
+use shmls_conformance::{check_kernel, CheckOptions};
+
+#[test]
+fn committed_corpus_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let corpus = load_corpus(&dir).expect("corpus directory readable");
+    assert!(
+        !corpus.is_empty(),
+        "committed corpus is empty — expected at least the seeded \
+         offset-flip reproducer in {}",
+        dir.display()
+    );
+    for (path, kernel) in &corpus {
+        let report = check_kernel(kernel, &CheckOptions::default());
+        if let Some(failure) = report.failure {
+            panic!(
+                "corpus reproducer {} fails again: {failure}",
+                path.display()
+            );
+        }
+    }
+}

@@ -42,6 +42,11 @@ pub struct CompileOptions {
     /// internal timestamps, which are dropped); building `shmls-ir`
     /// without its `timing` feature removes the instrumentation entirely.
     pub time_passes: bool,
+    /// Capture a printed snapshot of the whole module after every
+    /// pipeline stage on [`CompiledKernel::snapshots`]. Off by default
+    /// (printing is not free); the conformance harness turns it on so a
+    /// differential failure can name the exact IR each engine executed.
+    pub snapshots: bool,
 }
 
 impl Default for CompileOptions {
@@ -52,6 +57,7 @@ impl Default for CompileOptions {
             verify: true,
             optimize: true,
             time_passes: true,
+            snapshots: false,
         }
     }
 }
@@ -87,6 +93,11 @@ pub struct CompiledKernel {
     /// [`CompileOptions::time_passes`] is off or `shmls-ir` was built
     /// without its `timing` feature.
     pub timings: Timings,
+    /// `(stage, printed module)` pairs in pipeline order, when
+    /// [`CompileOptions::snapshots`] was set: `frontend-lower`,
+    /// `optimize` (after canonicalize+split), `stencil-to-hls`, and the
+    /// requested lowerings. Empty otherwise.
+    pub snapshots: Vec<(String, String)>,
 }
 
 impl CompiledKernel {
@@ -161,8 +172,15 @@ fn compile_kernel_timed(
     let mut stopwatch = Stopwatch::start();
     let mut ctx = Context::new();
     let (module, body) = create_module(&mut ctx);
+    let mut snapshots: Vec<(String, String)> = Vec::new();
+    let snap = |ctx: &Context, stage: &str, snapshots: &mut Vec<(String, String)>| {
+        snapshots.push((stage.to_string(), shmls_ir::printer::print_op(ctx, module)));
+    };
     let lowered = lower_kernel(&mut ctx, body, &kernel)?;
     stopwatch.lap(&mut timings, "frontend-lower");
+    if opts.snapshots {
+        snap(&ctx, "frontend-lower", &mut snapshots);
+    }
     let registry = shmls_dialects::registry();
     if opts.verify {
         verify_with(&ctx, module, &registry).map_err(|e| e.context("after frontend lowering"))?;
@@ -181,10 +199,16 @@ fn compile_kernel_timed(
         pm.add(crate::split::SplitPass);
         let pass_timings = pm.run(&mut ctx, module)?;
         timings.absorb_pass_timings(&pass_timings);
+        if opts.snapshots {
+            snap(&ctx, "optimize", &mut snapshots);
+        }
     }
 
     let hls_out = stencil_to_hls(&mut ctx, lowered.func, &opts.hmls)?;
     timings.extend(&hls_out.timings);
+    if opts.snapshots {
+        snap(&ctx, "stencil-to-hls", &mut snapshots);
+    }
     stopwatch = Stopwatch::start();
     if opts.verify {
         verify_with(&ctx, module, &registry).map_err(|e| e.context("after stencil-to-hls"))?;
@@ -194,6 +218,9 @@ fn compile_kernel_timed(
     let cpu_func = if matches!(opts.paths, TargetPath::HlsAndCpu | TargetPath::Full) {
         let f = crate::cpu_lowering::stencil_to_cpu(&mut ctx, lowered.func)?;
         stopwatch.lap(&mut timings, "cpu-lowering");
+        if opts.snapshots {
+            snap(&ctx, "cpu-lowering", &mut snapshots);
+        }
         if opts.verify {
             verify_with(&ctx, module, &registry).map_err(|e| e.context("after cpu lowering"))?;
             stopwatch.lap(&mut timings, "verify");
@@ -208,6 +235,9 @@ fn compile_kernel_timed(
         stopwatch.lap(&mut timings, "llvm-lowering");
         let report = run_fpp(&mut ctx, f)?;
         stopwatch.lap(&mut timings, "fpp");
+        if opts.snapshots {
+            snap(&ctx, "llvm-lowering", &mut snapshots);
+        }
         if opts.verify {
             verify_with(&ctx, module, &registry)
                 .map_err(|e| e.context("after llvm lowering + fpp"))?;
@@ -236,6 +266,7 @@ fn compile_kernel_timed(
         report: hls_out.report,
         directives,
         timings,
+        snapshots,
     })
 }
 
@@ -314,6 +345,41 @@ kernel demo {
         let records = compiled.timings.records();
         assert_eq!(records.last().unwrap().name, "total");
         assert_eq!(compiled.timings.get("total"), Some(compiled.timings.total()));
+    }
+
+    #[test]
+    fn snapshots_capture_every_stage_in_order() {
+        let opts = CompileOptions {
+            snapshots: true,
+            ..Default::default()
+        };
+        let compiled = compile(SRC, &opts).unwrap();
+        let stages: Vec<&str> = compiled.snapshots.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(
+            stages,
+            [
+                "frontend-lower",
+                "optimize",
+                "stencil-to-hls",
+                "cpu-lowering",
+                "llvm-lowering"
+            ]
+        );
+        for (stage, ir) in &compiled.snapshots {
+            assert!(
+                ir.contains("builtin.module"),
+                "snapshot `{stage}` is not a module print"
+            );
+        }
+        // The dataflow function only exists from stencil-to-hls onwards.
+        assert!(!compiled.snapshots[0].1.contains("demo_hls"));
+        assert!(compiled.snapshots[2].1.contains("demo_hls"));
+    }
+
+    #[test]
+    fn snapshots_off_by_default() {
+        let compiled = compile(SRC, &CompileOptions::default()).unwrap();
+        assert!(compiled.snapshots.is_empty());
     }
 
     #[test]

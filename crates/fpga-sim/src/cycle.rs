@@ -493,6 +493,199 @@ mod tests {
         assert!(err.blocked_stages().count() >= 1);
     }
 
+    /// A degenerate one-stage design with no streams at all: nothing to
+    /// block on, so the run must complete and produce a sane report.
+    #[test]
+    fn single_stage_design_without_streams_completes() {
+        let d = DesignDescriptor {
+            name: "solo-load".into(),
+            interior_points: 16,
+            bounded_points: 16,
+            stages: vec![Stage::Load {
+                fields: 1,
+                beats_per_field: 2,
+                elements_per_field: 16,
+            }],
+            wiring: vec![StageWiring {
+                reads: vec![],
+                writes: vec![],
+            }],
+            streams: vec![],
+            interfaces: vec![],
+            local_buffer_bytes: vec![],
+            init_copy_elements: 0,
+        };
+        let r = simulate(&d, None).unwrap();
+        assert!(r.cycles > 0);
+        assert_eq!(r.fires.len(), 1);
+    }
+
+    /// A single stage starving on a producer-less stream: the report must
+    /// stay coherent with exactly one stage and one (empty) stream.
+    #[test]
+    fn single_stage_design_diagnoses_its_own_starvation() {
+        let d = DesignDescriptor {
+            name: "solo-compute".into(),
+            interior_points: 4,
+            bounded_points: 4,
+            stages: vec![Stage::Compute {
+                ii: 1,
+                trips: 4,
+                reads: 1,
+                writes: 0,
+                ops: OpMix::default(),
+            }],
+            wiring: vec![StageWiring {
+                reads: vec![0],
+                writes: vec![],
+            }],
+            streams: vec![StreamDesc {
+                depth: 4,
+                elem_bytes: 8,
+            }],
+            interfaces: vec![],
+            local_buffer_bytes: vec![],
+            init_copy_elements: 0,
+        };
+        let err = simulate(&d, None).unwrap_err();
+        assert_eq!(err.stages.len(), 1);
+        assert_eq!(
+            err.stages[0].status,
+            crate::deadlock::StageStatus::BlockedOnPop { stream: 0 }
+        );
+        assert_eq!(err.blocked_stages().count(), 1);
+        assert_eq!(err.full_streams().count(), 0);
+        let snap = err.blocked_stream(&err.stages[0]).unwrap();
+        assert_eq!((snap.occupancy, snap.depth), (0, 4));
+    }
+
+    /// Declared depth 0 is clamped to capacity 1: hand-offs serialise but
+    /// the pipeline still drains completely.
+    #[test]
+    fn zero_depth_streams_clamp_to_one_and_complete() {
+        let mut d = linear_design(100, 1, 1);
+        for s in &mut d.streams {
+            s.depth = 0;
+        }
+        let r = simulate(&d, None).unwrap();
+        assert_eq!(r.fires[3], 100, "write stage must drain every point");
+    }
+
+    /// When a zero-depth design does deadlock, the report must show the
+    /// *clamped* capacity (1/1 full), not a nonsensical 1/0 occupancy.
+    #[test]
+    fn zero_depth_stream_reports_clamped_capacity_on_deadlock() {
+        let mut d = linear_design(60, 1, 1);
+        for s in &mut d.streams {
+            s.depth = 0;
+        }
+        d.wiring[3].reads = vec![]; // kill the consumer of stream 2
+        let err = simulate(&d, None).unwrap_err();
+        let s2 = &err.streams[2];
+        assert_eq!((s2.occupancy, s2.depth), (1, 1));
+        assert!(s2.is_full());
+        assert_eq!(
+            err.stages[2].status,
+            crate::deadlock::StageStatus::BlockedOnPush { stream: 2 }
+        );
+    }
+
+    /// load → compute forking into two output streams, one consumed.
+    fn fork_design(n: u64) -> DesignDescriptor {
+        DesignDescriptor {
+            name: "fork".into(),
+            interior_points: n,
+            bounded_points: n,
+            stages: vec![
+                Stage::Load {
+                    fields: 1,
+                    beats_per_field: n.div_ceil(8),
+                    elements_per_field: n,
+                },
+                Stage::Compute {
+                    ii: 1,
+                    trips: n,
+                    reads: 1,
+                    writes: 2,
+                    ops: OpMix::default(),
+                },
+                Stage::Write {
+                    fields: 1,
+                    beats_per_field: n.div_ceil(8),
+                    elements_per_field: n,
+                },
+            ],
+            wiring: vec![
+                StageWiring {
+                    reads: vec![],
+                    writes: vec![0],
+                },
+                StageWiring {
+                    reads: vec![0],
+                    writes: vec![1, 2],
+                },
+                StageWiring {
+                    reads: vec![1],
+                    writes: vec![],
+                },
+            ],
+            streams: vec![
+                StreamDesc {
+                    depth: 8,
+                    elem_bytes: 8,
+                },
+                StreamDesc {
+                    depth: 8,
+                    elem_bytes: 8,
+                },
+                StreamDesc {
+                    depth: 8,
+                    elem_bytes: 8,
+                },
+            ],
+            interfaces: vec![],
+            local_buffer_bytes: vec![],
+            init_copy_elements: 0,
+        }
+    }
+
+    /// Two candidate output streams, only one actually full: the blame
+    /// must land on the full one (stream 2) even though stream 1 has the
+    /// lower handle and is checked first.
+    #[test]
+    fn blame_falls_on_the_actually_full_stream() {
+        let d = fork_design(100);
+        let err = simulate(&d, None).unwrap_err();
+        assert_eq!(
+            err.stages[1].status,
+            crate::deadlock::StageStatus::BlockedOnPush { stream: 2 }
+        );
+        let full: Vec<usize> = err.full_streams().map(|s| s.stream).collect();
+        assert!(full.contains(&2), "stream 2 must be full: {full:?}");
+        assert!(
+            !full.contains(&1),
+            "stream 1 is drained by the write stage: {full:?}"
+        );
+        assert!(err.streams[2].full_stall_cycles.unwrap() > 0);
+    }
+
+    /// Both output streams full at once: every full stream shows up in the
+    /// report, and the blocked push is attributed to a genuinely full one.
+    #[test]
+    fn two_full_streams_are_both_reported() {
+        let mut d = fork_design(80);
+        d.wiring[2].reads = vec![]; // now neither compute output drains
+        let err = simulate(&d, None).unwrap_err();
+        let full: Vec<usize> = err.full_streams().map(|s| s.stream).collect();
+        assert!(full.contains(&1) && full.contains(&2), "{full:?}");
+        match err.stages[1].status {
+            crate::deadlock::StageStatus::BlockedOnPush { stream } => {
+                assert!(full.contains(&stream), "blamed non-full stream {stream}")
+            }
+            ref other => panic!("compute should be push-blocked, got {other:?}"),
+        }
+    }
+
     #[test]
     fn report_throughput_helper() {
         let d = linear_design(3000, 1, 1);

@@ -194,6 +194,57 @@ mod tests {
         assert!(s.is_full());
     }
 
+    /// A report for a one-stage design must be coherent: the only stage's
+    /// blocked stream resolves, and nothing else is implicated.
+    #[test]
+    fn single_stage_report_is_coherent() {
+        let r = DeadlockReport {
+            stages: vec![StageSnapshot {
+                stage: "stage0:compute".into(),
+                status: StageStatus::BlockedOnPop { stream: 0 },
+            }],
+            streams: vec![StreamSnapshot {
+                stream: 0,
+                occupancy: 0,
+                depth: 4,
+                full_stall_cycles: None,
+            }],
+            cycles: None,
+        };
+        assert_eq!(r.blocked_stages().count(), 1);
+        assert_eq!(r.full_streams().count(), 0);
+        let s = r.blocked_stream(&r.stages[0]).unwrap();
+        assert_eq!(s.stream, 0);
+        let text = r.to_string();
+        assert!(text.contains("blocked popping stream 0 (0/4 queued)"), "{text}");
+    }
+
+    /// Declared depth 0 means the stream can never hold anything: by the
+    /// `occupancy >= depth` rule it counts as full even when empty, so a
+    /// producer push-blocked on it is always accounted for. (The engines
+    /// clamp executable capacity to 1, but a report built from declared
+    /// depths must not divide blame by zero.)
+    #[test]
+    fn zero_depth_stream_is_always_full() {
+        let s = StreamSnapshot {
+            stream: 7,
+            occupancy: 0,
+            depth: 0,
+            full_stall_cycles: Some(0),
+        };
+        assert!(s.is_full());
+        let r = DeadlockReport {
+            stages: vec![StageSnapshot {
+                stage: "stage0:load_data".into(),
+                status: StageStatus::BlockedOnPush { stream: 7 },
+            }],
+            streams: vec![s],
+            cycles: Some(1),
+        };
+        assert_eq!(r.full_streams().count(), 1);
+        assert!(r.to_string().contains("0/0"), "{r}");
+    }
+
     #[test]
     fn display_names_stage_and_stream() {
         let text = sample().to_string();

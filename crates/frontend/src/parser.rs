@@ -10,12 +10,22 @@ use crate::ast::{
 /// Parse one kernel definition from DSL text and validate it.
 pub fn parse_kernel(src: &str) -> IrResult<KernelDef> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let k = p.kernel()?;
     p.expect_eof()?;
     k.validate()?;
     Ok(k)
 }
+
+/// Deepest expression nesting the parser accepts. The descent recurses
+/// once per level (`unary` → `primary` → `expr` for parens), so without a
+/// bound an adversarial `((((…` input overflows the stack — an abort, not
+/// an `Err`. 256 levels is far beyond any real kernel.
+const MAX_EXPR_DEPTH: usize = 256;
 
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
@@ -135,6 +145,7 @@ fn lex(src: &str) -> IrResult<Vec<Spanned>> {
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -341,12 +352,23 @@ impl Parser {
         }
     }
 
+    // Every nesting construct (parenthesised exprs, call arguments, unary
+    // chains) re-enters through `unary`, so this is the one place the
+    // recursion depth needs guarding.
     fn unary(&mut self) -> IrResult<Expr> {
-        if self.eat_punct('-') {
-            Ok(Expr::Neg(Box::new(self.unary()?)))
+        self.depth += 1;
+        let result = if self.depth > MAX_EXPR_DEPTH {
+            Err(IrError::new(format!(
+                "line {}: expression nests deeper than {MAX_EXPR_DEPTH} levels",
+                self.line()
+            )))
+        } else if self.eat_punct('-') {
+            self.unary().map(|e| Expr::Neg(Box::new(e)))
         } else {
             self.primary()
-        }
+        };
+        self.depth -= 1;
+        result
     }
 
     fn primary(&mut self) -> IrResult<Expr> {
@@ -491,15 +513,14 @@ kernel p {
 "#;
         let k = parse_kernel(src).unwrap();
         assert_eq!(k.params[0].axis, 2);
-        match &k.computes[0].expr {
-            Expr::Call {
-                f: Intrinsic::Max,
-                args,
-            } => {
-                assert_eq!(args[0], build::param("tz", 1));
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        let Expr::Call {
+            f: Intrinsic::Max,
+            args,
+        } = &k.computes[0].expr
+        else {
+            unreachable!("source literally spells `max(…)`: {:?}", k.computes[0].expr)
+        };
+        assert_eq!(args[0], build::param("tz", 1));
     }
 
     #[test]

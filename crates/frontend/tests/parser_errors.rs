@@ -112,3 +112,69 @@ fn trailing_tokens_rejected() {
     );
     assert!(e.contains("trailing input"), "{e}");
 }
+
+/// Wrap an expression into an otherwise-valid kernel body.
+fn kernel_with_expr(expr: &str) -> String {
+    format!(
+        "kernel p {{ grid(4) halo 0 field a : input field b : output \
+         compute b {{ b = {expr} }} }}"
+    )
+}
+
+// The fuzzer's shrinker feeds the parser arbitrary candidate text; an
+// abort (stack overflow) instead of an `Err` would kill the whole run,
+// so adversarially deep inputs get explicit coverage.
+
+#[test]
+fn deep_paren_nesting_is_an_error_not_a_stack_overflow() {
+    let depth = 100_000;
+    let expr = format!("{}a[0]{}", "(".repeat(depth), ")".repeat(depth));
+    let e = err(&kernel_with_expr(&expr));
+    assert!(e.contains("nests deeper"), "{e}");
+}
+
+#[test]
+fn deep_unary_chains_are_an_error_not_a_stack_overflow() {
+    let expr = format!("{}a[0]", "-".repeat(100_000));
+    let e = err(&kernel_with_expr(&expr));
+    assert!(e.contains("nests deeper"), "{e}");
+}
+
+#[test]
+fn deep_call_nesting_is_an_error_not_a_stack_overflow() {
+    let depth = 100_000;
+    let expr = format!("{}a[0]{}", "abs(".repeat(depth), ")".repeat(depth));
+    let e = err(&kernel_with_expr(&expr));
+    assert!(e.contains("nests deeper"), "{e}");
+}
+
+#[test]
+fn reasonable_nesting_still_parses() {
+    let depth = 50;
+    let expr = format!("{}a[0]{}", "(".repeat(depth), ")".repeat(depth));
+    parse_kernel(&kernel_with_expr(&expr)).unwrap();
+}
+
+#[test]
+fn oversized_integer_literal_is_an_error() {
+    let e = err(&kernel_with_expr("99999999999999999999999"));
+    assert!(e.contains("bad integer"), "{e}");
+}
+
+#[test]
+fn malformed_float_exponent_is_an_error() {
+    let e = err(&kernel_with_expr("1.0e"));
+    assert!(e.contains("bad number"), "{e}");
+}
+
+#[test]
+fn empty_compute_expression_is_an_error() {
+    let e = err(&kernel_with_expr(""));
+    assert!(e.contains("unexpected token"), "{e}");
+}
+
+#[test]
+fn empty_input_is_an_error() {
+    let e = err("");
+    assert!(e.contains("expected identifier"), "{e}");
+}

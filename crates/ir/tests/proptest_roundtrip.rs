@@ -99,6 +99,13 @@ enum OpRecipe {
     Binary(u8, usize, usize),
     /// A region op (scf.for-like) whose body uses an earlier f64 value.
     Loop(usize),
+    /// A binary op carrying discretionary attributes (string, index
+    /// array, bool) — exercises attribute printing on real ops, not just
+    /// standalone attribute text.
+    Annotated(usize, i64),
+    /// Two nested region ops: the printer must indent and the parser
+    /// re-nest identically.
+    DeepLoop(usize),
 }
 
 fn arb_recipes() -> impl Strategy<Value = Vec<OpRecipe>> {
@@ -117,6 +124,9 @@ fn arb_recipes() -> impl Strategy<Value = Vec<OpRecipe>> {
                     b.index(1 << 16)
                 )),
             any::<prop::sample::Index>().prop_map(|a| OpRecipe::Loop(a.index(1 << 16))),
+            (any::<prop::sample::Index>(), any::<i64>())
+                .prop_map(|(a, v)| OpRecipe::Annotated(a.index(1 << 16), v)),
+            any::<prop::sample::Index>().prop_map(|a| OpRecipe::DeepLoop(a.index(1 << 16))),
         ],
         1..24,
     )
@@ -180,11 +190,74 @@ fn build_module(recipes: &[OpRecipe]) -> (Context, OpId) {
                 let mut ib = OpBuilder::at_block_end(&mut ctx, body);
                 ib.build("scf.yield", vec![], vec![]);
             }
+            OpRecipe::Annotated(a, v) => {
+                let lhs = floats[a % floats.len()];
+                let mut b = OpBuilder::at_block_end(&mut ctx, fblock);
+                let val = b.build_value("arith.mulf", vec![lhs, lhs], Type::F64);
+                let op = ctx.defining_op(val).unwrap();
+                ctx.set_attr(op, "note", Attribute::string("annotated"));
+                ctx.set_attr(op, "tags", Attribute::IndexArray(vec![*v, -*v]));
+                ctx.set_attr(op, "hot", Attribute::Bool(*v % 2 == 0));
+                floats.push(val);
+            }
+            OpRecipe::DeepLoop(a) => {
+                let used = floats[a % floats.len()];
+                let mut b = OpBuilder::at_block_end(&mut ctx, fblock);
+                let lb = b.build_value("arith.constant", vec![], Type::Index);
+                let lb_op = ctx.defining_op(lb).unwrap();
+                ctx.set_attr(lb_op, "value", Attribute::index(0));
+                let mut b = OpBuilder::at_block_end(&mut ctx, fblock);
+                let (_outer, obody) = b.build_with_region(
+                    "scf.for",
+                    vec![lb, lb, lb],
+                    vec![],
+                    Default::default(),
+                    vec![Type::Index],
+                );
+                let mut ob = OpBuilder::at_block_end(&mut ctx, obody);
+                let (_inner, ibody) = ob.build_with_region(
+                    "scf.for",
+                    vec![lb, lb, lb],
+                    vec![],
+                    Default::default(),
+                    vec![Type::Index],
+                );
+                let mut ib = OpBuilder::at_block_end(&mut ctx, ibody);
+                let _ = ib.build_value("arith.subf", vec![used, used], Type::F64);
+                let mut ib = OpBuilder::at_block_end(&mut ctx, ibody);
+                ib.build("scf.yield", vec![], vec![]);
+                let mut ob = OpBuilder::at_block_end(&mut ctx, obody);
+                ob.build("scf.yield", vec![], vec![]);
+            }
         }
     }
     let mut b = OpBuilder::at_block_end(&mut ctx, fblock);
     b.build("func.return", vec![], vec![]);
     (ctx, module)
+}
+
+/// Deterministic pin of the recipe generator's newest arms (attribute-
+/// carrying ops and doubly nested regions): one fixed recipe list must
+/// round-trip and reach a printing fixpoint. Complements the proptest
+/// regression seeds with a case that needs no generation at all.
+#[test]
+fn pinned_annotated_and_nested_module_round_trips() {
+    let recipes = vec![
+        OpRecipe::ConstF64(1.5),
+        OpRecipe::Annotated(0, 3),
+        OpRecipe::DeepLoop(1),
+        OpRecipe::Binary(2, 1, 0),
+        OpRecipe::Loop(2),
+    ];
+    let (ctx, module) = build_module(&recipes);
+    shmls_ir::verifier::verify(&ctx, module).unwrap();
+    let pass0 = print_op(&ctx, module);
+    let (ctx1, m1) = parse_op(&pass0).unwrap_or_else(|e| panic!("reparse: {e}\n{pass0}"));
+    let pass1 = print_op(&ctx1, m1);
+    let (ctx2, m2) = parse_op(&pass1).unwrap_or_else(|e| panic!("second reparse: {e}\n{pass1}"));
+    assert_eq!(pass0, pass1);
+    assert_eq!(pass1, print_op(&ctx2, m2));
+    shmls_ir::verifier::verify(&ctx2, m2).unwrap();
 }
 
 proptest! {
@@ -200,6 +273,25 @@ proptest! {
         let text2 = print_op(&ctx2, module2);
         prop_assert_eq!(text, text2);
         shmls_ir::verifier::verify(&ctx2, module2).unwrap();
+    }
+
+    /// Print → parse is *idempotent*: the first printed form is already a
+    /// fixpoint, so a second round trip must reproduce it byte-for-byte.
+    /// (A printer that, say, canonicalises attribute order only on parsed
+    /// input would pass a single round trip but fail this.)
+    #[test]
+    fn module_round_trip_is_idempotent(recipes in arb_recipes()) {
+        let (ctx, module) = build_module(&recipes);
+        let pass0 = print_op(&ctx, module);
+        let (ctx1, m1) = parse_op(&pass0)
+            .unwrap_or_else(|e| panic!("first reparse failed: {e}\n{pass0}"));
+        let pass1 = print_op(&ctx1, m1);
+        let (ctx2, m2) = parse_op(&pass1)
+            .unwrap_or_else(|e| panic!("second reparse failed: {e}\n{pass1}"));
+        let pass2 = print_op(&ctx2, m2);
+        prop_assert_eq!(&pass0, &pass1);
+        prop_assert_eq!(&pass1, &pass2);
+        shmls_ir::verifier::verify(&ctx2, m2).unwrap();
     }
 
     #[test]
