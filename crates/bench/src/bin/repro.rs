@@ -20,9 +20,13 @@
 //!                        # delta table; exit 1 on regressions
 //! repro fuzz [--cases N] [--seed S] [--engine E]... [--ulp N]
 //!            [--inject offset-flip|op-swap] [--corpus DIR]
-//!            [--max-failures N] [--shrink-budget N]
+//!            [--max-failures N] [--shrink-budget N] [--no-scale]
 //!                        # cross-engine differential fuzzing; exit 1 on
 //!                        # any disagreement (reproducers land in DIR)
+//! repro run [--kernel pw_advection|tracer_advection] [--grid I,J,K]
+//!           [--cus N] [--steps T] [--serial] [--check-parallel]
+//!                        # scale-out execution: time-march over parallel
+//!                        # CU slabs with halo exchange; per-CU report
 //! ```
 
 use std::time::Duration;
@@ -284,6 +288,7 @@ fn fuzz_cmd(args: &[String]) {
                     std::process::exit(2);
                 }
             },
+            "--no-scale" => opts.scale = false,
             other => {
                 eprintln!("repro fuzz: unknown flag `{other}`");
                 std::process::exit(2);
@@ -326,6 +331,167 @@ fn fuzz_cmd(args: &[String]) {
     }
 }
 
+/// `repro run [--kernel NAME] [--grid I,J,K] [--cus N] [--steps T]
+/// [--serial] [--check-parallel]`
+fn run_cmd(args: &[String]) {
+    use shmls_bench::telemetry::{bench_kernel_names, kernel_data, source_for};
+    use stencil_hmls::cache::CompileCache;
+    use stencil_hmls::scale::{run_time_marched_with, MarchOptions, MultiCuReport};
+    use stencil_hmls::CompileOptions;
+
+    let mut kname = "pw_advection".to_string();
+    let mut grid = [16i64, 14, 10];
+    let mut cus = 4usize;
+    let mut steps = 1usize;
+    let mut serial = false;
+    let mut check_parallel = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--kernel" => match it.next() {
+                Some(k) if bench_kernel_names().contains(&k.as_str()) => kname = k.clone(),
+                _ => {
+                    eprintln!(
+                        "repro run: `--kernel` needs one of {}",
+                        bench_kernel_names().join("|")
+                    );
+                    std::process::exit(2);
+                }
+            },
+            "--grid" => {
+                let parts: Option<Vec<i64>> = it
+                    .next()
+                    .map(|v| v.split(',').map(|p| p.trim().parse::<i64>().ok()).collect())
+                    .unwrap_or(None);
+                match parts.as_deref() {
+                    Some([i, j, k]) if *i > 0 && *j > 0 && *k > 0 => grid = [*i, *j, *k],
+                    _ => {
+                        eprintln!("repro run: `--grid` needs three positive sizes, e.g. 16,14,10");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--cus" | "--steps" => {
+                let which = arg.clone();
+                match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => {
+                        if which == "--cus" {
+                            cus = n;
+                        } else {
+                            steps = n;
+                        }
+                    }
+                    None => {
+                        eprintln!("repro run: `{which}` needs a non-negative integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--serial" => serial = true,
+            "--check-parallel" => check_parallel = true,
+            other => {
+                eprintln!("repro run: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let kernel = match shmls_frontend::parse_kernel(&source_for(&kname, grid)) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("repro run: parsing {kname}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let data = kernel_data(&kname, grid);
+    let opts = CompileOptions::default();
+    let cache = CompileCache::new();
+    let march = |serial: bool| MarchOptions {
+        serial,
+        cache: Some(&cache),
+        ..Default::default()
+    };
+    let run = |serial: bool| -> MultiCuReport {
+        match run_time_marched_with(&kernel, &data, steps, cus, &opts, &march(serial)) {
+            Ok((_, report)) => report,
+            Err(e) => {
+                eprintln!("repro run: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let report = run(serial);
+    println!(
+        "{kname} {grid:?}: {} step(s) over {} compute unit(s) ({})",
+        report.steps,
+        report.cus,
+        if serial { "serial" } else { "parallel" }
+    );
+    println!(
+        "  {:>3} {:>12} {:>10} {:>8} {:>12} {:>10} {:>12} {:>10}",
+        "cu", "rows", "elems", "streams", "stream-elems", "mem-beats", "model-cyc", "wall-ms"
+    );
+    for cu in &report.per_cu {
+        println!(
+            "  {:>3} {:>12} {:>10} {:>8} {:>12} {:>10} {:>12} {:>10.3}",
+            cu.cu,
+            format!("[{}, {})", cu.rows.0, cu.rows.1),
+            cu.interior_elems,
+            cu.streams,
+            cu.stream_elements,
+            cu.mem_beats,
+            cu.model_cycles,
+            cu.wall.as_secs_f64() * 1e3,
+        );
+    }
+    println!(
+        "  wall {:.3} ms, {:.3e} elems/s, load imbalance {:.3}, \
+         model makespan {} cycles (imbalance {:.3})",
+        report.wall.as_secs_f64() * 1e3,
+        report.elems_per_s,
+        report.load_imbalance,
+        report.model.makespan_cycles,
+        report.model.load_imbalance,
+    );
+    println!(
+        "  compile cache: {} hit(s), {} miss(es) (hit rate {:.2})",
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_hit_rate()
+    );
+
+    if check_parallel {
+        // Best-of-3 each way: the cache is warm after the first run, so
+        // this measures execution, not compilation. On a multi-core host
+        // parallel must be no slower than serial; on a single core a
+        // speedup is physically impossible, so only bound the threading
+        // overhead instead (1.5× serial).
+        let best = |serial: bool| (0..3).map(|_| run(serial).wall).min().unwrap();
+        let serial_wall = best(true);
+        let parallel_wall = best(false);
+        let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let (limit, rule) = if cpus >= 2 {
+            (serial_wall, "parallel <= serial")
+        } else {
+            (serial_wall * 3 / 2, "single core: parallel <= 1.5x serial")
+        };
+        println!(
+            "  check-parallel: serial {:.3} ms, parallel {:.3} ms, speedup {:.2}x ({rule})",
+            serial_wall.as_secs_f64() * 1e3,
+            parallel_wall.as_secs_f64() * 1e3,
+            speedup,
+        );
+        if parallel_wall > limit {
+            eprintln!("repro run: parallel execution violated `{rule}`");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let eval = EvalContext::default();
@@ -344,6 +510,7 @@ fn main() {
         "bench" => bench(&args[1..]),
         "compare" => compare_cmd(&args[1..]),
         "fuzz" => fuzz_cmd(&args[1..]),
+        "run" => run_cmd(&args[1..]),
         "json" => {
             let path = args.get(1).map(String::as_str).unwrap_or("results.json");
             let results = evaluate_all(&eval);
@@ -373,7 +540,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown command `{other}`; expected figure4|figure5|figure6|table1|table2|\
-                 ablation|dse|cycles|ii|validate|bench|compare|fuzz|json|all"
+                 ablation|dse|cycles|ii|validate|bench|compare|fuzz|run|json|all"
             );
             std::process::exit(2);
         }

@@ -21,7 +21,9 @@ use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use shmls_kernels::{pw_advection, tracer_advection};
+use stencil_hmls::cache::CompileCache;
 use stencil_hmls::runner::{run_hls, run_hls_threaded, KernelData};
+use stencil_hmls::scale::{run_time_marched_with, MarchOptions};
 use stencil_hmls::{compile, CompileOptions, CompiledKernel};
 
 /// Version of the `BENCH.json` schema. Bump on any breaking change to the
@@ -127,7 +129,9 @@ fn bench_kernels(quick: bool) -> Vec<(&'static str, [i64; 3])> {
     }
 }
 
-fn source_for(kernel: &str, grid: [i64; 3]) -> String {
+/// DSL source for a named bench kernel at `grid`. Panics on an unknown
+/// name — callers validate against [`bench_kernel_names`] first.
+pub fn source_for(kernel: &str, grid: [i64; 3]) -> String {
     match kernel {
         "pw_advection" => pw_advection::source(grid[0], grid[1], grid[2]),
         "tracer_advection" => tracer_advection::source(grid[0], grid[1], grid[2]),
@@ -135,7 +139,14 @@ fn source_for(kernel: &str, grid: [i64; 3]) -> String {
     }
 }
 
-fn kernel_data(kernel: &str, grid: [i64; 3]) -> KernelData {
+/// The names [`source_for`] and [`kernel_data`] accept.
+pub fn bench_kernel_names() -> &'static [&'static str] {
+    &["pw_advection", "tracer_advection"]
+}
+
+/// Deterministic random input data for a named bench kernel at `grid`
+/// (same seeds as the telemetry runs use).
+pub fn kernel_data(kernel: &str, grid: [i64; 3]) -> KernelData {
     let [nx, ny, nz] = grid;
     match kernel {
         "pw_advection" => {
@@ -332,6 +343,70 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, String> {
         metrics.insert(
             format!("sim/{kname}/cycles"),
             det(stepped.cycles as f64, "cycles"),
+        );
+    }
+
+    // --- scale-out: parallel compute units + time-marching ----------------
+    // One kernel is enough to gate the scale path: pw_advection over 4 CU
+    // slabs, time-marched so the compile cache and halo exchange are both
+    // on the measured path. The serial run populates a private cache; the
+    // parallel run must then hit it on every CU (`cache_hit_rate` is a
+    // deterministic 1.0 unless caching breaks).
+    {
+        let (kname, grid) = bench_kernels(quick)[0];
+        let steps = if quick { 4 } else { 8 };
+        let cus = 4;
+        let kernel = shmls_frontend::parse_kernel(&source_for(kname, grid))
+            .map_err(|e| format!("parsing {kname} for the scale bench: {e}"))?;
+        let data = kernel_data(kname, grid);
+        let opts = CompileOptions::default();
+        let cache = CompileCache::new();
+
+        let serial = MarchOptions {
+            serial: true,
+            cache: Some(&cache),
+            ..Default::default()
+        };
+        let (_, serial_report) = run_time_marched_with(&kernel, &data, steps, cus, &opts, &serial)
+            .map_err(|e| format!("{kname} serial scale run: {e}"))?;
+
+        let parallel = MarchOptions {
+            serial: false,
+            cache: Some(&cache),
+            ..Default::default()
+        };
+        let (_, report) = run_time_marched_with(&kernel, &data, steps, cus, &opts, &parallel)
+            .map_err(|e| format!("{kname} parallel scale run: {e}"))?;
+
+        metrics.insert(
+            format!("scale/{kname}/multi_cu_elems_per_s"),
+            throughput(report.elems_per_s),
+        );
+        metrics.insert(
+            format!("scale/{kname}/parallel_speedup"),
+            Metric {
+                value: serial_report.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-9),
+                unit: "x".to_string(),
+                better: Better::Higher,
+                noise: Noise::WallClock,
+            },
+        );
+        metrics.insert(
+            format!("scale/{kname}/cache_hit_rate"),
+            Metric {
+                value: report.cache_hit_rate(),
+                unit: "ratio".to_string(),
+                better: Better::Higher,
+                noise: Noise::Deterministic,
+            },
+        );
+        metrics.insert(
+            format!("scale/{kname}/model_makespan_cycles"),
+            det(report.model.makespan_cycles as f64, "cycles"),
+        );
+        metrics.insert(
+            format!("scale/{kname}/model_load_imbalance"),
+            det(report.model.load_imbalance, "ratio"),
         );
     }
 

@@ -32,6 +32,9 @@ pub struct ReproMeta {
     pub inject: Option<Fault>,
     /// Data seed the failure reproduces under.
     pub data_seed: u64,
+    /// `(cus, steps)` for failures found by the multi-CU/time-marching
+    /// dimension (`None` for plain engine failures).
+    pub scale: Option<(usize, usize)>,
 }
 
 /// Render a reproducer file: header comments + DSL source.
@@ -52,6 +55,9 @@ pub fn reproducer_text(kernel: &KernelDef, meta: &ReproMeta) -> String {
             "// injected-fault: {fault} (a harness self-test, not a real miscompile)\n"
         ));
     }
+    if let Some((cus, steps)) = meta.scale {
+        out.push_str(&format!("// scale: cus={cus} steps={steps}\n"));
+    }
     out.push_str(&format!("// data-seed: {}\n", meta.data_seed));
     out.push_str(&kernel_to_source(kernel));
     out
@@ -60,11 +66,7 @@ pub fn reproducer_text(kernel: &KernelDef, meta: &ReproMeta) -> String {
 /// Write a reproducer into `dir` (created if missing). The file is named
 /// after the kernel and failure kind so repeated runs overwrite rather
 /// than accumulate: `fuzz_17-mismatch.knl`.
-pub fn write_reproducer(
-    dir: &Path,
-    kernel: &KernelDef,
-    meta: &ReproMeta,
-) -> io::Result<PathBuf> {
+pub fn write_reproducer(dir: &Path, kernel: &KernelDef, meta: &ReproMeta) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}-{}.knl", kernel.name, meta.kind));
     std::fs::write(&path, reproducer_text(kernel, meta))?;
@@ -118,11 +120,13 @@ mod tests {
             engines: "cpu,hls,threaded,cycle".into(),
             inject: Some(Fault::OffsetFlip),
             data_seed: 1,
+            scale: Some((2, 4)),
         };
         let text = reproducer_text(&k, &meta);
         let reparsed = parse_kernel(&text).unwrap();
         assert_eq!(k, reparsed);
         assert!(text.contains("injected-fault: offset-flip"));
+        assert!(text.contains("scale: cus=2 steps=4"));
     }
 
     #[test]
@@ -142,6 +146,7 @@ mod tests {
             engines: "threaded".into(),
             inject: None,
             data_seed: 1,
+            scale: None,
         };
         let path = write_reproducer(&dir, &k, &meta).unwrap();
         assert!(path.ends_with("w-deadlock.knl"));

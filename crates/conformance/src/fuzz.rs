@@ -4,10 +4,11 @@
 use std::path::PathBuf;
 
 use shmls_frontend::{kernel_to_source, KernelDef};
+use stencil_hmls::cache::Fnv64;
 
 use crate::corpus::{write_reproducer, ReproMeta};
 use crate::generator::{generate, GenOptions};
-use crate::harness::{check_kernel, CheckOptions, Failure};
+use crate::harness::{check_kernel, CheckOptions, Failure, ScaleConfig};
 use crate::rng::Rng;
 use crate::shrink::shrink;
 
@@ -29,6 +30,10 @@ pub struct FuzzOptions {
     /// Stop after this many failures (each one compiles and runs hundreds
     /// of shrink candidates; a broken build fails everywhere).
     pub max_failures: usize,
+    /// Also run each case through one multi-CU/time-marching
+    /// configuration ([`rotated_scale`]) unless [`CheckOptions::scale`]
+    /// already pins one. On by default; `repro fuzz --no-scale` disables.
+    pub scale: bool,
 }
 
 impl Default for FuzzOptions {
@@ -41,7 +46,22 @@ impl Default for FuzzOptions {
             corpus_dir: None,
             shrink_budget: 400,
             max_failures: 5,
+            scale: true,
         }
+    }
+}
+
+/// The scale configuration case `case` is fuzzed with: `cus ∈ {1, 2, 3}`
+/// rotates fastest and `steps ∈ {1, 2, 4}` next, so nine consecutive
+/// cases cover the full product without multiplying per-case cost by
+/// nine. Deterministic in the case index — the same seed replays the
+/// same configurations.
+pub fn rotated_scale(case: u64) -> ScaleConfig {
+    const CUS: [usize; 3] = [1, 2, 3];
+    const STEPS: [usize; 3] = [1, 2, 4];
+    ScaleConfig {
+        cus: CUS[(case % 3) as usize],
+        steps: STEPS[((case / 3) % 3) as usize],
     }
 }
 
@@ -88,7 +108,7 @@ impl FuzzSummary {
 /// progress notes (pass `|_| ()` to silence).
 pub fn run_fuzz(opts: &FuzzOptions, log: &mut dyn FnMut(&str)) -> FuzzSummary {
     let root = Rng::new(opts.seed);
-    let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mut digest = Fnv64::new();
     let mut injected = 0u64;
     let mut failures = Vec::new();
     let mut checked = 0u64;
@@ -96,12 +116,14 @@ pub fn run_fuzz(opts: &FuzzOptions, log: &mut dyn FnMut(&str)) -> FuzzSummary {
     for case in 0..opts.cases {
         let mut rng = root.fork(case);
         let kernel = generate(&mut rng, case, &opts.gen);
-        for byte in kernel_to_source(&kernel).bytes() {
-            digest = (digest ^ byte as u64).wrapping_mul(0x100_0000_01b3);
-        }
+        digest.update(kernel_to_source(&kernel).as_bytes());
         checked += 1;
 
-        let report = check_kernel(&kernel, &opts.check);
+        let mut check = opts.check.clone();
+        if opts.scale && check.scale.is_empty() {
+            check.scale = vec![rotated_scale(case)];
+        }
+        let report = check_kernel(&kernel, &check);
         if report.injected {
             injected += 1;
         }
@@ -111,16 +133,22 @@ pub fn run_fuzz(opts: &FuzzOptions, log: &mut dyn FnMut(&str)) -> FuzzSummary {
         log(&format!("case {case}: {failure}"));
 
         // Shrink, preserving the failure *kind* (an offset flip that
-        // mismatches must still mismatch, not merely fail somehow).
+        // mismatches must still mismatch, not merely fail somehow). For a
+        // scale failure, the configuration is minimized first — fewest
+        // total slab-runs, then fewest steps — and pinned before the
+        // kernel itself shrinks.
         let kind = failure.kind();
+        if let Some(orig) = failure.scale() {
+            check.scale = vec![minimize_scale(&kernel, &check, orig, kind, log)];
+        }
         let mut still_fails = |candidate: &KernelDef| {
-            check_kernel(candidate, &opts.check)
+            check_kernel(candidate, &check)
                 .failure
                 .map(|f| f.kind() == kind)
                 .unwrap_or(false)
         };
         let shrunk = shrink(&kernel, opts.shrink_budget, &mut still_fails);
-        let shrunk_failure = check_kernel(&shrunk, &opts.check)
+        let shrunk_failure = check_kernel(&shrunk, &check)
             .failure
             .expect("shrunk kernel no longer fails");
         log(&format!(
@@ -144,6 +172,7 @@ pub fn run_fuzz(opts: &FuzzOptions, log: &mut dyn FnMut(&str)) -> FuzzSummary {
                     .join(","),
                 inject: opts.check.inject,
                 data_seed: opts.check.data_seed,
+                scale: shrunk_failure.scale().map(|s| (s.cus, s.steps)),
             };
             match write_reproducer(dir, &shrunk, &meta) {
                 Ok(path) => {
@@ -179,9 +208,45 @@ pub fn run_fuzz(opts: &FuzzOptions, log: &mut dyn FnMut(&str)) -> FuzzSummary {
     FuzzSummary {
         cases: checked,
         injected,
-        digest,
+        digest: digest.finish(),
         failures,
     }
+}
+
+/// Find the smallest `(cus, steps)` at or below `orig` that still
+/// produces a failure of the same kind on `kernel`: candidates are
+/// ordered by total slab-runs (`cus × steps`), then by `steps`, so the
+/// reproducer pins the cheapest configuration that exhibits the bug.
+/// Falls back to `orig` when nothing smaller fails.
+fn minimize_scale(
+    kernel: &KernelDef,
+    check: &CheckOptions,
+    orig: ScaleConfig,
+    kind: &str,
+    log: &mut dyn FnMut(&str),
+) -> ScaleConfig {
+    let mut candidates: Vec<ScaleConfig> = Vec::new();
+    for cus in [1usize, 2, 3] {
+        for steps in [1usize, 2, 4] {
+            if cus <= orig.cus && steps <= orig.steps && (cus, steps) != (orig.cus, orig.steps) {
+                candidates.push(ScaleConfig { cus, steps });
+            }
+        }
+    }
+    candidates.sort_by_key(|c| (c.cus * c.steps, c.steps));
+    for cand in candidates {
+        let mut probe = check.clone();
+        probe.scale = vec![cand];
+        let fails_same = check_kernel(kernel, &probe)
+            .failure
+            .map(|f| f.kind() == kind)
+            .unwrap_or(false);
+        if fails_same {
+            log(&format!("scale config minimized: ({orig}) -> ({cand})"));
+            return cand;
+        }
+    }
+    orig
 }
 
 #[cfg(test)]
@@ -203,6 +268,46 @@ mod tests {
         assert!(
             summary.clean(),
             "differential failures: {:?}",
+            summary
+                .failures
+                .iter()
+                .map(|f| f.failure.to_string())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rotation_covers_the_full_scale_product() {
+        let mut seen: Vec<(usize, usize)> = (0..9)
+            .map(rotated_scale)
+            .map(|s| (s.cus, s.steps))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 9, "nine cases must cover all nine configs");
+        // And the rotation is purely case-indexed.
+        assert_eq!(rotated_scale(4), rotated_scale(13));
+    }
+
+    /// The scale dimension runs by default and stays clean: slab
+    /// time-marching agrees with the iterated oracle on generated
+    /// kernels. `--no-scale` (scale: false) must skip it.
+    #[test]
+    fn scale_dimension_is_clean_on_generated_kernels() {
+        let opts = FuzzOptions {
+            cases: 9, // one full rotation of (cus, steps)
+            seed: 3,
+            check: CheckOptions {
+                engines: vec![crate::harness::Engine::Hls],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(opts.scale, "scale dimension must default on");
+        let summary = run_fuzz(&opts, &mut |_| ());
+        assert!(
+            summary.clean(),
+            "scale failures: {:?}",
             summary
                 .failures
                 .iter()

@@ -216,9 +216,7 @@ fn gen_leaf(rng: &mut Rng, scope: &Scope<'_>) -> Expr {
                 offset,
             }
         }
-        6 if !scope.consts.is_empty() => {
-            Expr::ConstRef(rng.pick(scope.consts).name.clone())
-        }
+        6 if !scope.consts.is_empty() => Expr::ConstRef(rng.pick(scope.consts).name.clone()),
         // Literals stay non-negative: the parser represents `-3.0` as
         // `Neg(Num(3.0))`, so a negative `Num` would not round-trip
         // through the DSL printer AST-exactly.
@@ -240,9 +238,18 @@ fn gen_expr(rng: &mut Rng, scope: &Scope<'_>, depth: usize) -> Expr {
     }
     match rng.range(0, 9) {
         // Binary arithmetic dominates, like real stencils.
-        0..=2 => build::add(gen_expr(rng, scope, depth - 1), gen_expr(rng, scope, depth - 1)),
-        3..=4 => build::sub(gen_expr(rng, scope, depth - 1), gen_expr(rng, scope, depth - 1)),
-        5..=6 => build::mul(gen_expr(rng, scope, depth - 1), gen_expr(rng, scope, depth - 1)),
+        0..=2 => build::add(
+            gen_expr(rng, scope, depth - 1),
+            gen_expr(rng, scope, depth - 1),
+        ),
+        3..=4 => build::sub(
+            gen_expr(rng, scope, depth - 1),
+            gen_expr(rng, scope, depth - 1),
+        ),
+        5..=6 => build::mul(
+            gen_expr(rng, scope, depth - 1),
+            gen_expr(rng, scope, depth - 1),
+        ),
         // Division by a non-zero literal only: all engines execute the
         // same IEEE ops so even inf/NaN would agree bitwise, but a NaN
         // that floods an output field masks genuine single-point
@@ -316,7 +323,10 @@ mod tests {
     #[test]
     fn coverage_reaches_every_feature() {
         let root = Rng::new(1);
-        let (mut ranks, mut halos) = (std::collections::BTreeSet::new(), std::collections::BTreeSet::new());
+        let (mut ranks, mut halos) = (
+            std::collections::BTreeSet::new(),
+            std::collections::BTreeSet::new(),
+        );
         let (mut saw_temp, mut saw_param, mut saw_const) = (false, false, false);
         for case in 0..300 {
             let mut rng = root.fork(case);
@@ -341,7 +351,10 @@ mod tests {
             let src = shmls_frontend::kernel_to_source(&k);
             let reparsed = shmls_frontend::parse_kernel(&src)
                 .unwrap_or_else(|e| panic!("case {case} does not re-parse: {e}\n{src}"));
-            assert_eq!(k, reparsed, "case {case} round-trip changed the AST:\n{src}");
+            assert_eq!(
+                k, reparsed,
+                "case {case} round-trip changed the AST:\n{src}"
+            );
         }
     }
 }

@@ -19,6 +19,7 @@ use shmls_frontend::{FieldKind, KernelDef};
 use shmls_ir::attributes::Attribute;
 use shmls_ir::interp::Buffer;
 use stencil_hmls::runner::{run_cpu, run_hls, run_hls_threaded, run_stencil, KernelData};
+use stencil_hmls::scale::{run_time_marched, time_march_reference};
 use stencil_hmls::{compile_kernel, CompileOptions, CompiledKernel, TargetPath};
 
 use crate::rng::Rng;
@@ -101,6 +102,43 @@ impl fmt::Display for Fault {
     }
 }
 
+/// One scale-out configuration to check differentially: the kernel is
+/// time-marched over `steps` steps on `cus` parallel compute units and
+/// compared against the sequential interpreter oracle iterated the same
+/// number of steps. Configurations are clamped per kernel (see
+/// [`clamp_scale`]) so generated kernels with tiny grids stay runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleConfig {
+    /// Compute units (slabs along axis 0).
+    pub cus: usize,
+    /// Timesteps.
+    pub steps: usize,
+}
+
+impl fmt::Display for ScaleConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cus={} steps={}", self.cus, self.steps)
+    }
+}
+
+/// Clamp a scale configuration to what `kernel`'s grid supports: at most
+/// one CU per row, and, for multi-step runs, few enough CUs that every
+/// slab is at least a halo tall (otherwise the exchange cannot supply a
+/// full halo and the runner rejects the split).
+pub fn clamp_scale(kernel: &KernelDef, cfg: ScaleConfig) -> ScaleConfig {
+    let n0 = kernel.grid[0];
+    let mut cus = cfg.cus.max(1).min(n0.max(1) as usize);
+    if cfg.steps > 1 {
+        while cus > 1 && n0 / (cus as i64) < kernel.halo {
+            cus -= 1;
+        }
+    }
+    ScaleConfig {
+        cus,
+        steps: cfg.steps.max(1),
+    }
+}
+
 /// How a case failed. Carries enough context to be actionable without the
 /// full IR (which `CompiledKernel::snapshots` provides when enabled).
 #[derive(Debug, Clone)]
@@ -138,6 +176,28 @@ pub enum Failure {
         /// The engine's structured report, rendered.
         report: String,
     },
+    /// The scale-out path (multi-CU time-marching) returned an error.
+    ScaleError {
+        /// The (clamped) configuration that failed.
+        scale: ScaleConfig,
+        /// Its error text.
+        error: String,
+    },
+    /// The scale-out path disagrees with the iterated sequential oracle.
+    ScaleMismatch {
+        /// The (clamped) configuration that failed.
+        scale: ScaleConfig,
+        /// Output field with the worst disagreement.
+        field: String,
+        /// Interior point of the worst disagreement.
+        point: Vec<i64>,
+        /// Oracle value there.
+        expect: f64,
+        /// Scale-path value there.
+        got: f64,
+        /// ULP distance (`u64::MAX` when only one side is NaN).
+        ulps: u64,
+    },
 }
 
 impl Failure {
@@ -150,6 +210,18 @@ impl Failure {
             Failure::Engine { .. } => "engine-error",
             Failure::Mismatch { .. } => "mismatch",
             Failure::Deadlock { .. } => "deadlock",
+            Failure::ScaleError { .. } => "scale-error",
+            Failure::ScaleMismatch { .. } => "scale-mismatch",
+        }
+    }
+
+    /// The scale configuration involved, for scale failures.
+    pub fn scale(&self) -> Option<ScaleConfig> {
+        match self {
+            Failure::ScaleError { scale, .. } | Failure::ScaleMismatch { scale, .. } => {
+                Some(*scale)
+            }
+            _ => None,
         }
     }
 }
@@ -175,6 +247,21 @@ impl fmt::Display for Failure {
             Failure::Deadlock { engine, report } => {
                 write!(f, "engine `{engine}` deadlocked:\n{report}")
             }
+            Failure::ScaleError { scale, error } => {
+                write!(f, "scale run ({scale}) error: {error}")
+            }
+            Failure::ScaleMismatch {
+                scale,
+                field,
+                point,
+                expect,
+                got,
+                ulps,
+            } => write!(
+                f,
+                "scale run ({scale}) disagrees with the iterated oracle on `{field}` \
+                 at {point:?}: expected {expect:e}, got {got:e} ({ulps} ulps)"
+            ),
         }
     }
 }
@@ -195,6 +282,11 @@ pub struct CheckOptions {
     pub data_seed: u64,
     /// Capture per-stage IR snapshots on the compiled kernel.
     pub snapshots: bool,
+    /// Scale-out configurations to check after the engines pass: each is
+    /// clamped per kernel ([`clamp_scale`]), time-marched on parallel
+    /// CUs, and compared against the iterated sequential oracle at the
+    /// same [`CheckOptions::max_ulps`]. Empty by default.
+    pub scale: Vec<ScaleConfig>,
 }
 
 impl Default for CheckOptions {
@@ -206,6 +298,7 @@ impl Default for CheckOptions {
             inject: None,
             data_seed: 1,
             snapshots: false,
+            scale: Vec::new(),
         }
     }
 }
@@ -271,6 +364,17 @@ pub fn check_kernel(kernel: &KernelDef, opts: &CheckOptions) -> CheckReport {
         if let Some(f) = check_engine(engine, &compiled, &data, &oracle, opts) {
             failure = Some(f);
             break;
+        }
+    }
+    if failure.is_none() {
+        for &cfg in &opts.scale {
+            // The scale path compiles its own pristine slab designs, so
+            // an injected engine fault cannot leak in here; the oracle
+            // side iterates the unmutated stencil function.
+            if let Some(f) = check_scale(kernel, &compiled, &data, cfg, opts.max_ulps) {
+                failure = Some(f);
+                break;
+            }
         }
     }
     CheckReport {
@@ -339,12 +443,75 @@ fn check_engine(
     }
 }
 
+/// Check one (clamped) scale configuration: time-march the kernel over
+/// parallel CU slabs and compare against the sequential interpreter
+/// oracle iterated the same number of steps with the same feedback
+/// pairing.
+fn check_scale(
+    kernel: &KernelDef,
+    compiled: &CompiledKernel,
+    data: &KernelData,
+    cfg: ScaleConfig,
+    max_ulps: u64,
+) -> Option<Failure> {
+    let scale = clamp_scale(kernel, cfg);
+    let oracle = match time_march_reference(kernel, data, scale.steps, |d| run_stencil(compiled, d))
+    {
+        Ok(o) => o,
+        Err(e) => {
+            return Some(Failure::ScaleError {
+                scale,
+                error: format!("iterated oracle: {e}"),
+            })
+        }
+    };
+    let slab_opts = CompileOptions {
+        paths: TargetPath::HlsOnly,
+        time_passes: false,
+        ..Default::default()
+    };
+    let marched = match run_time_marched(kernel, data, scale.steps, scale.cus, &slab_opts) {
+        Ok((out, _report)) => out,
+        Err(e) => {
+            return Some(Failure::ScaleError {
+                scale,
+                error: e.to_string(),
+            })
+        }
+    };
+    let lb = vec![0i64; kernel.rank()];
+    let mut worst: Option<(u64, String, Vec<i64>, f64, f64)> = None;
+    for (name, expect_buf) in &oracle {
+        let Some(got_buf) = marched.get(name) else {
+            return Some(Failure::ScaleError {
+                scale,
+                error: format!("output `{name}` missing from scale-run results"),
+            });
+        };
+        for p in shmls_ir::interp::iter_box(&lb, &kernel.grid) {
+            let expect = expect_buf.load(&p).unwrap_or(f64::NAN);
+            let got = got_buf.load(&p).unwrap_or(f64::NAN);
+            let d = ulp_distance(expect, got);
+            if d > max_ulps && worst.as_ref().map_or(true, |(w, ..)| d > *w) {
+                worst = Some((d, name.clone(), p, expect, got));
+            }
+        }
+    }
+    worst.map(|(ulps, field, point, expect, got)| Failure::ScaleMismatch {
+        scale,
+        field,
+        point,
+        expect,
+        got,
+        ulps,
+    })
+}
+
 /// Deterministic input data for a kernel: every input/inout field, every
 /// axis parameter, every scalar constant. Values are small and irregular
 /// so a flipped access or dropped term moves some interior point.
 pub fn make_data(kernel: &KernelDef, data_seed: u64) -> KernelData {
-    let bounds =
-        shmls_ir::types::StencilBounds::from_extents(&kernel.grid).grown(kernel.halo);
+    let bounds = shmls_ir::types::StencilBounds::from_extents(&kernel.grid).grown(kernel.halo);
     let mut data = KernelData::default();
     let root = Rng::new(data_seed);
     let mut stream = 0u64;
@@ -542,13 +709,73 @@ kernel h {
     }
 
     #[test]
+    fn clean_kernel_passes_scale_configs() {
+        let k = parse_kernel(SRC).unwrap();
+        let opts = CheckOptions {
+            engines: vec![Engine::Hls],
+            scale: vec![
+                ScaleConfig { cus: 1, steps: 1 },
+                ScaleConfig { cus: 2, steps: 2 },
+                ScaleConfig { cus: 3, steps: 4 },
+            ],
+            ..Default::default()
+        };
+        let report = check_kernel(&k, &opts);
+        assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    }
+
+    #[test]
+    fn scale_configs_are_clamped_to_the_grid() {
+        let k = parse_kernel(SRC).unwrap(); // grid(6, 5), halo 1
+        let c = clamp_scale(&k, ScaleConfig { cus: 9, steps: 0 });
+        assert_eq!(c, ScaleConfig { cus: 6, steps: 1 });
+        // Multi-step: 6 rows over 4 CUs gives 1-row slabs — fine at halo
+        // 1; a halo-2 kernel would need the CU count reduced.
+        let c = clamp_scale(&k, ScaleConfig { cus: 4, steps: 2 });
+        assert_eq!(c, ScaleConfig { cus: 4, steps: 2 });
+        let deep = parse_kernel(
+            "kernel d { grid(5, 6) halo 2 field a : input field b : output \
+             compute b { b = a[-2,0] + a[0,2] } }",
+        )
+        .unwrap();
+        let c = clamp_scale(&deep, ScaleConfig { cus: 3, steps: 2 });
+        assert_eq!(c, ScaleConfig { cus: 2, steps: 2 });
+        let c = clamp_scale(&deep, ScaleConfig { cus: 3, steps: 1 });
+        assert_eq!(
+            c,
+            ScaleConfig { cus: 3, steps: 1 },
+            "one step needs no exchange"
+        );
+    }
+
+    #[test]
+    fn scale_check_runs_even_with_an_injected_engine_fault_on_cpu_only() {
+        // The fault lives in the compiled HLS function; the scale path
+        // compiles its own designs and the oracle iterates the stencil
+        // function, so neither side sees it and the check still passes.
+        let k = parse_kernel(SRC).unwrap();
+        let opts = CheckOptions {
+            engines: vec![Engine::Cpu],
+            inject: Some(Fault::OffsetFlip),
+            scale: vec![ScaleConfig { cus: 2, steps: 2 }],
+            ..Default::default()
+        };
+        let report = check_kernel(&k, &opts);
+        assert!(report.injected);
+        assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    }
+
+    #[test]
     fn ulp_distance_basics() {
         assert_eq!(ulp_distance(1.0, 1.0), 0);
         assert_eq!(ulp_distance(0.0, -0.0), 0);
         assert_eq!(ulp_distance(f64::NAN, f64::NAN), 0);
         assert_eq!(ulp_distance(1.0, f64::NAN), u64::MAX);
         assert_eq!(ulp_distance(1.0, f64::from_bits(1.0_f64.to_bits() + 1)), 1);
-        assert_eq!(ulp_distance(-1.0, f64::from_bits((-1.0_f64).to_bits() + 1)), 1);
+        assert_eq!(
+            ulp_distance(-1.0, f64::from_bits((-1.0_f64).to_bits() + 1)),
+            1
+        );
         assert!(ulp_distance(-1.0, 1.0) > 1 << 60);
     }
 }

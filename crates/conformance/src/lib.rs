@@ -15,7 +15,9 @@
 //! - [`harness`] — compiles each kernel once and compares every engine
 //!   against the oracle with a configurable ULP tolerance, with a
 //!   fault-injection hook ([`harness::Fault`]) that proves the harness
-//!   detects real miscompiles,
+//!   detects real miscompiles; a scale dimension
+//!   ([`harness::ScaleConfig`]) additionally time-marches each kernel
+//!   over parallel CU slabs and compares against the iterated oracle,
 //! - [`shrink`] — minimizes a failing kernel (dropping computes and
 //!   fields, shrinking grids and halos, simplifying expressions) while
 //!   the failure kind reproduces,
@@ -36,7 +38,7 @@ pub mod harness;
 pub mod rng;
 pub mod shrink;
 
-pub use fuzz::{run_fuzz, FuzzOptions, FuzzSummary};
+pub use fuzz::{rotated_scale, run_fuzz, FuzzOptions, FuzzSummary};
 pub use generator::{generate, GenOptions};
-pub use harness::{check_kernel, CheckOptions, Engine, Failure, Fault};
+pub use harness::{check_kernel, clamp_scale, CheckOptions, Engine, Failure, Fault, ScaleConfig};
 pub use shrink::shrink;

@@ -72,8 +72,7 @@ fn candidates(k: &KernelDef) -> Vec<KernelDef> {
             collect_refs(&compute.expr, &mut referenced);
             referenced.insert(compute.target.clone());
         }
-        let before =
-            (c.fields.len(), c.params.len(), c.consts.len());
+        let before = (c.fields.len(), c.params.len(), c.consts.len());
         c.fields.retain(|f| referenced.contains(&f.name));
         c.params.retain(|p| referenced.contains(&p.name));
         c.consts.retain(|d| referenced.contains(&d.name));

@@ -1,0 +1,93 @@
+//! Property test for the scale-out path: for generated kernels, random
+//! slab splits, and random step counts, halo-exchange time-marching over
+//! parallel compute units must equal the monolithic run — bit-for-bit
+//! for one step, and within a small ULP tolerance for multi-step marches
+//! (in practice the slab path executes the identical f64 operation
+//! sequence per point, so the tolerance is headroom, not an excuse).
+//!
+//! The deterministic sweep below covers a full rotation of the
+//! configuration space and runs everywhere; the proptest property widens
+//! the seed space in CI. Any regression found here should be pinned as a
+//! `pinned_*` test with its exact (seed, case, cus, steps, data seed).
+
+use proptest::prelude::*;
+use shmls_conformance::generator::generate;
+use shmls_conformance::harness::{clamp_scale, make_data, ulp_distance};
+use shmls_conformance::rng::Rng;
+use shmls_conformance::{GenOptions, ScaleConfig};
+use stencil_hmls::runner::run_hls;
+use stencil_hmls::scale::{run_time_marched, time_march_reference};
+use stencil_hmls::{compile_kernel, CompileOptions, TargetPath};
+
+/// Generate kernel (`seed`, `case`), clamp `(cus, steps)` to its grid,
+/// and compare the slab march against the iterated monolithic run.
+/// Panics with a point-level description on any divergence.
+fn check_slab_march(seed: u64, case: u64, cus: usize, steps: usize, data_seed: u64) {
+    let mut rng = Rng::new(seed).fork(case);
+    let kernel = generate(&mut rng, case, &GenOptions::default());
+    let cfg = clamp_scale(&kernel, ScaleConfig { cus, steps });
+    let data = make_data(&kernel, data_seed);
+    let opts = CompileOptions {
+        paths: TargetPath::HlsOnly,
+        time_passes: false,
+        ..Default::default()
+    };
+
+    let monolithic = compile_kernel(kernel.clone(), &opts).expect("monolithic compile");
+    let reference = time_march_reference(&kernel, &data, cfg.steps, |d| {
+        run_hls(&monolithic, d).map(|(out, _)| out)
+    })
+    .expect("monolithic march");
+    let (marched, report) =
+        run_time_marched(&kernel, &data, cfg.steps, cfg.cus, &opts).expect("slab march");
+    assert_eq!(report.cus, cfg.cus);
+    assert_eq!(report.steps, cfg.steps);
+
+    let max_ulps = if cfg.steps == 1 { 0 } else { 4 };
+    let lb = vec![0i64; kernel.rank()];
+    for (name, mono) in &reference {
+        let slab = marched
+            .get(name)
+            .unwrap_or_else(|| panic!("output `{name}` missing from slab march"));
+        for p in shmls_ir::interp::iter_box(&lb, &kernel.grid) {
+            let expect = mono.load(&p).unwrap();
+            let got = slab.load(&p).unwrap();
+            let d = ulp_distance(expect, got);
+            assert!(
+                d <= max_ulps,
+                "seed {seed} case {case} ({cfg}): `{name}` at {p:?}: \
+                 monolithic {expect:e} vs slab {got:e} ({d} ulps)"
+            );
+        }
+    }
+}
+
+/// Deterministic sweep: three full rotations of `(cus, steps)` over
+/// distinct generated kernels and data seeds. This is the part of the
+/// property that runs even without a proptest runner.
+#[test]
+fn slab_march_matches_monolithic_sweep() {
+    const CUS: [usize; 3] = [1, 2, 3];
+    const STEPS: [usize; 3] = [1, 2, 4];
+    for case in 0u64..27 {
+        check_slab_march(
+            7,
+            case,
+            CUS[(case % 3) as usize],
+            STEPS[((case / 3) % 3) as usize],
+            case + 1,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn slab_march_matches_monolithic(
+        (seed, case, (cus, steps_pick), data_seed) in
+            (any::<u64>(), 0u64..256, (1usize..=3, 0usize..3), 1u64..1_000_000)
+    ) {
+        check_slab_march(seed, case, cus, [1, 2, 4][steps_pick], data_seed);
+    }
+}

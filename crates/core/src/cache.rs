@@ -1,0 +1,344 @@
+//! Content-addressed compile cache.
+//!
+//! Multi-CU domain decomposition compiles one design per distinct slab
+//! height ("static shapes": the paper's future-work note that a new
+//! bitstream is needed per problem size). Those compilations repeat —
+//! across the CUs of one run, across the timesteps of a time-marched run
+//! (which must not recompile inside the loop), and across repeated
+//! `repro bench` / `repro fuzz` invocations in one process. The cache
+//! keys a compiled design by an FNV-1a digest of the kernel's DSL source
+//! (which includes the slab's grid shape) plus a fingerprint of the
+//! [`CompileOptions`], so a hit is guaranteed to be the design an
+//! identical fresh compilation would produce — a property
+//! [`CompiledKernel::design_fingerprint`] makes checkable.
+//!
+//! The FNV-1a hasher here ([`Fnv64`]) is the same construction the
+//! conformance fuzzer uses for its kernel-source digest; the fuzzer now
+//! reuses this implementation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use shmls_frontend::{kernel_to_source, KernelDef};
+use shmls_ir::error::IrResult;
+
+use crate::driver::{compile_kernel, CompileOptions, CompiledKernel};
+
+/// Streaming FNV-1a (64-bit) hasher. Stable across hosts and runs — the
+/// digest is part of the repo's determinism evidence (fuzzer digests,
+/// cache keys, design fingerprints), so it must not depend on
+/// `std::hash` internals.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    /// The FNV-1a 64-bit prime.
+    pub const PRIME: u64 = 0x100_0000_01b3;
+
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET_BASIS)
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a digest of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Cache occupancy and traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a compiled design.
+    pub hits: u64,
+    /// Lookups that missed (each one cost a compilation).
+    pub misses: u64,
+    /// Designs currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `1.0` for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded content-addressed cache of compiled kernels.
+///
+/// Entries are shared as [`Arc`]s, so a cached design can be executed by
+/// several compute-unit workers concurrently while the cache itself stays
+/// lock-free on the hot read path (the lock is held only around the map
+/// probe, never across a compilation). Eviction is FIFO by insertion
+/// order — the workload is "a handful of slab shapes, reused heavily",
+/// not a scan, so recency tracking would buy nothing.
+#[derive(Debug)]
+pub struct CompileCache {
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<u64, Arc<CompiledKernel>>,
+    /// Keys in insertion order, for FIFO eviction.
+    order: Vec<u64>,
+}
+
+/// Default capacity of [`CompileCache::new`] (also the global cache's).
+pub const DEFAULT_CAPACITY: usize = 128;
+
+impl CompileCache {
+    /// An empty cache holding at most [`DEFAULT_CAPACITY`] designs.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` designs (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        CompileCache {
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The content-addressed key: FNV-1a over the kernel's DSL source
+    /// (grid shape included, so every slab height keys separately) and a
+    /// fingerprint of every compile option. Two requests with the same
+    /// key are guaranteed to want byte-identical designs.
+    pub fn key(kernel: &KernelDef, opts: &CompileOptions) -> u64 {
+        let mut h = Fnv64::new();
+        h.update(kernel_to_source(kernel).as_bytes());
+        h.update(b"|opts:");
+        // `CompileOptions` is a flat struct of scalars and enums; its
+        // Debug rendering is a complete, stable fingerprint.
+        h.update(format!("{opts:?}").as_bytes());
+        h.finish()
+    }
+
+    /// Look up a design by key, counting the hit or miss.
+    pub fn lookup(&self, key: u64) -> Option<Arc<CompiledKernel>> {
+        let found = self
+            .inner
+            .lock()
+            .expect("cache poisoned")
+            .map
+            .get(&key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert a design (evicting the oldest entry when full). If another
+    /// thread inserted the same key first, the resident entry wins so
+    /// every holder shares one design.
+    pub fn insert(&self, key: u64, compiled: Arc<CompiledKernel>) -> Arc<CompiledKernel> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if let Some(existing) = inner.map.get(&key) {
+            return Arc::clone(existing);
+        }
+        while inner.order.len() >= self.capacity {
+            let oldest = inner.order.remove(0);
+            inner.map.remove(&oldest);
+        }
+        inner.order.push(key);
+        inner.map.insert(key, Arc::clone(&compiled));
+        compiled
+    }
+
+    /// Fetch the design for `kernel` under `opts`, compiling on a miss.
+    /// Returns the design and whether it was a cache hit. The lock is
+    /// never held during compilation, so concurrent misses on *different*
+    /// kernels compile in parallel; concurrent misses on the *same*
+    /// kernel deduplicate at insertion (compilation is deterministic, so
+    /// either result is the result).
+    pub fn get_or_compile(
+        &self,
+        kernel: &KernelDef,
+        opts: &CompileOptions,
+    ) -> IrResult<(Arc<CompiledKernel>, bool)> {
+        let key = Self::key(kernel, opts);
+        if let Some(hit) = self.lookup(key) {
+            return Ok((hit, true));
+        }
+        let compiled = Arc::new(compile_kernel(kernel.clone(), opts)?);
+        Ok((self.insert(key, compiled), false))
+    }
+
+    /// Traffic and occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("cache poisoned").map.len(),
+        }
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide cache used by the scale-out runners when no explicit
+/// cache is supplied — this is what lets repeated `repro bench` /
+/// `repro fuzz` work inside one process share slab compilations.
+pub fn global_cache() -> &'static CompileCache {
+    static GLOBAL: OnceLock<CompileCache> = OnceLock::new();
+    GLOBAL.get_or_init(CompileCache::new)
+}
+
+// Cached designs are executed concurrently by compute-unit workers;
+// sharing them requires the compiled artifact to be thread-safe.
+#[allow(dead_code)]
+fn _assert_compiled_kernel_is_shareable() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledKernel>();
+    assert_send_sync::<CompileCache>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::TargetPath;
+    use shmls_frontend::parse_kernel;
+
+    fn kernel(n0: i64) -> KernelDef {
+        parse_kernel(&format!(
+            "kernel c {{ grid({n0}, 5) halo 1 field a : input field b : output \
+             compute b {{ b = a[-1,0] + a[0,1] }} }}"
+        ))
+        .unwrap()
+    }
+
+    fn opts() -> CompileOptions {
+        CompileOptions {
+            paths: TargetPath::HlsOnly,
+            time_passes: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn same_kernel_twice_compiles_once() {
+        let cache = CompileCache::new();
+        let (_, hit1) = cache.get_or_compile(&kernel(6), &opts()).unwrap();
+        let (_, hit2) = cache.get_or_compile(&kernel(6), &opts()).unwrap();
+        assert!(!hit1, "first request must compile");
+        assert!(hit2, "second request must hit");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_slab_heights_compile_separately() {
+        let cache = CompileCache::new();
+        cache.get_or_compile(&kernel(6), &opts()).unwrap();
+        cache.get_or_compile(&kernel(7), &opts()).unwrap();
+        cache.get_or_compile(&kernel(6), &opts()).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 2));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn options_are_part_of_the_key() {
+        let cache = CompileCache::new();
+        cache.get_or_compile(&kernel(6), &opts()).unwrap();
+        let full = CompileOptions {
+            time_passes: false,
+            ..Default::default()
+        };
+        let (compiled, hit) = cache.get_or_compile(&kernel(6), &full).unwrap();
+        assert!(!hit, "different options must not alias");
+        assert!(compiled.cpu_func.is_some(), "full compile was produced");
+    }
+
+    #[test]
+    fn cached_design_is_identical_to_a_fresh_compilation() {
+        let cache = CompileCache::new();
+        let (cached, _) = cache.get_or_compile(&kernel(9), &opts()).unwrap();
+        let (same, hit) = cache.get_or_compile(&kernel(9), &opts()).unwrap();
+        assert!(hit);
+        let fresh = crate::driver::compile_kernel(kernel(9), &opts()).unwrap();
+        assert_eq!(cached.design_fingerprint(), fresh.design_fingerprint());
+        assert_eq!(cached.design_fingerprint(), same.design_fingerprint());
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_occupancy() {
+        let cache = CompileCache::with_capacity(2);
+        for n0 in [5, 6, 7, 8] {
+            cache.get_or_compile(&kernel(n0), &opts()).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.misses, 4);
+        // The two newest survive; the oldest two were evicted.
+        let (_, hit8) = cache.get_or_compile(&kernel(8), &opts()).unwrap();
+        assert!(hit8);
+        let (_, hit5) = cache.get_or_compile(&kernel(5), &opts()).unwrap();
+        assert!(!hit5);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = CompileCache::new();
+        cache.get_or_compile(&kernel(6), &opts()).unwrap();
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.misses, 1);
+    }
+}

@@ -110,6 +110,15 @@ impl CompiledKernel {
     pub fn cpu_name(&self) -> String {
         format!("{}_cpu", self.kernel.name)
     }
+
+    /// A stable fingerprint of the compiled module: FNV-1a over the
+    /// printed IR. Compilation is deterministic, so two compilations of
+    /// the same kernel under the same options produce the same
+    /// fingerprint — the correctness condition the compile cache's
+    /// determinism test checks.
+    pub fn design_fingerprint(&self) -> u64 {
+        crate::cache::fnv1a(shmls_ir::printer::print_op(&self.ctx, self.module).as_bytes())
+    }
 }
 
 /// Compile a module of *stencil-dialect IR text* (rather than DSL source):
@@ -344,7 +353,10 @@ kernel demo {
         // and re-summing after it lands must not double-count it.
         let records = compiled.timings.records();
         assert_eq!(records.last().unwrap().name, "total");
-        assert_eq!(compiled.timings.get("total"), Some(compiled.timings.total()));
+        assert_eq!(
+            compiled.timings.get("total"),
+            Some(compiled.timings.total())
+        );
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! - [`fpp`] — the f++ equivalent: marker-call pattern matching back into
 //!   structured directives.
 //! - [`driver`] — end-to-end compilation entry points.
+//! - [`cache`] — content-addressed compile cache (kernel source +
+//!   compile-option digest), shared by the scale-out runners.
+//! - [`scale`] — scale-out execution: parallel compute units,
+//!   time-marching with halo exchange, and the aggregated
+//!   [`scale::MultiCuReport`].
 //!
 //! ## Example
 //!
@@ -59,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod canonicalize;
 pub mod classify;
 pub mod connectivity;
@@ -70,12 +76,18 @@ pub mod fuse;
 pub mod hmls;
 pub mod llvm_lowering;
 pub mod runner;
+pub mod scale;
 pub mod shift_buffer;
 pub mod split;
 pub mod synthesis_report;
 
+pub use cache::{fnv1a, global_cache, CacheStats, CompileCache, Fnv64};
 pub use canonicalize::CanonicalizePass;
 pub use driver::{compile, compile_kernel, CompileOptions, CompiledKernel, TargetPath};
 pub use fuse::FusePass;
 pub use hmls::{stencil_to_hls, HmlsOptions, HmlsOutput, HmlsReport};
+pub use scale::{
+    feedback_pairs, partition, run_hls_multi_cu_report, run_time_marched, run_time_marched_with,
+    time_march_reference, CuReport, HaloFault, MarchOptions, MultiCuReport,
+};
 pub use split::SplitPass;

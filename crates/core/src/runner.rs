@@ -221,7 +221,10 @@ pub fn max_output_diff(
 /// halo-padded copy of its inputs; every distinct slab height is compiled
 /// to its own design — the static-shape property the paper's future work
 /// calls out ("the current implementation with static shape needs … a new
-/// bitstream per problem size").
+/// bitstream per problem size") — shared through the process-wide compile
+/// cache. The slabs execute concurrently on a worker pool; see
+/// [`crate::scale`] for the execution machinery, the per-CU report, and
+/// the time-marching driver.
 ///
 /// Returns the merged outputs, exactly as a single-CU run would produce.
 pub fn run_hls_multi_cu(
@@ -230,122 +233,6 @@ pub fn run_hls_multi_cu(
     cus: usize,
     opts: &crate::driver::CompileOptions,
 ) -> IrResult<BTreeMap<String, Buffer>> {
-    if cus == 0 {
-        ir_bail!("at least one compute unit required");
-    }
-    let n0 = kernel.grid[0];
-    if (cus as i64) > n0 {
-        ir_bail!("cannot split {n0} rows over {cus} compute units");
-    }
-    let halo = kernel.halo;
-    let bounded = shmls_ir::types::StencilBounds::from_extents(&kernel.grid).grown(halo);
-
-    // Global output buffers to merge into.
-    let mut outputs: BTreeMap<String, Buffer> = kernel
-        .fields
-        .iter()
-        .filter(|f| matches!(f.kind, FieldKind::Output | FieldKind::InOut))
-        .map(|f| {
-            (
-                f.name.clone(),
-                Buffer::zeroed(bounded.extents(), bounded.lb.clone()),
-            )
-        })
-        .collect();
-
-    // Cache compiled designs by slab height (static shapes!).
-    let mut designs: BTreeMap<i64, CompiledKernel> = BTreeMap::new();
-
-    let base = n0 / cus as i64;
-    let remainder = n0 % cus as i64;
-    let mut start = 0i64;
-    for cu in 0..cus as i64 {
-        let height = base + i64::from(cu < remainder);
-        let end = start + height;
-
-        match designs.get(&height) {
-            Some(_) => (),
-            None => {
-                let mut slab_kernel = kernel.clone();
-                slab_kernel.grid[0] = height;
-                let compiled = crate::driver::compile_kernel(
-                    slab_kernel,
-                    &crate::driver::CompileOptions {
-                        paths: crate::driver::TargetPath::HlsOnly,
-                        ..opts.clone()
-                    },
-                )?;
-                designs.insert(height, compiled);
-            }
-        };
-        let compiled = designs.get(&height).expect("just inserted");
-
-        // Slice the inputs: the slab's padded box is [start-h, end+h) on
-        // axis 0 and the full padded range on the other axes.
-        let mut slab_data = KernelData::default();
-        for (name, value) in &data.scalars {
-            slab_data = slab_data.scalar(name, *value);
-        }
-        for field in &kernel.fields {
-            if !matches!(field.kind, FieldKind::Input | FieldKind::InOut) {
-                continue;
-            }
-            let global = data
-                .buffers
-                .get(&field.name)
-                .ok_or_else(|| ir_error!("missing input buffer `{}`", field.name))?;
-            let mut slab_extents = bounded.extents();
-            slab_extents[0] = height + 2 * halo;
-            let mut slab_lb = bounded.lb.clone();
-            slab_lb[0] = -halo;
-            let mut slab = Buffer::zeroed(slab_extents, slab_lb);
-            // Copy [start-h, end+h) x full x full, re-indexed to the slab.
-            let mut lo = bounded.lb.clone();
-            lo[0] = start - halo;
-            let mut hi = bounded.ub.clone();
-            hi[0] = end + halo;
-            for p in shmls_ir::interp::iter_box(&lo, &hi) {
-                let mut q = p.clone();
-                q[0] -= start;
-                slab.store(&q, global.load(&p)?)?;
-            }
-            slab_data = slab_data.buffer(&field.name, slab);
-        }
-        for p in &kernel.params {
-            // Params on the split axis would need slab slicing; the
-            // frontend restricts params to a single axis, and we slice
-            // when that axis is the split axis.
-            let global = data
-                .buffers
-                .get(&p.name)
-                .ok_or_else(|| ir_error!("missing param buffer `{}`", p.name))?;
-            if p.axis == 0 {
-                let mut slab = Buffer::zeroed(vec![height + 2 * halo], vec![0]);
-                for i in 0..height + 2 * halo {
-                    slab.store(&[i], global.load(&[i + start])?)?;
-                }
-                slab_data = slab_data.buffer(&p.name, slab);
-            } else {
-                slab_data = slab_data.buffer(&p.name, global.clone());
-            }
-        }
-
-        let (slab_out, _) = run_hls(compiled, &slab_data)?;
-        for (name, slab_buffer) in &slab_out {
-            let global = outputs
-                .get_mut(name)
-                .ok_or_else(|| ir_error!("unexpected output `{name}`"))?;
-            let mut lo = vec![0i64; kernel.rank()];
-            let mut hi = kernel.grid.clone();
-            lo[0] = 0;
-            hi[0] = height;
-            for p in shmls_ir::interp::iter_box(&lo, &hi) {
-                let mut q = p.clone();
-                q[0] += start;
-                global.store(&q, slab_buffer.load(&p)?)?;
-            }
-        }
-        start = end;
-    }
+    let (outputs, _) = crate::scale::run_hls_multi_cu_report(kernel, data, cus, opts)?;
     Ok(outputs)
 }

@@ -1,0 +1,612 @@
+//! Scale-out execution: parallel compute units and time-marching with
+//! halo exchange.
+//!
+//! The paper's headline numbers replicate the dataflow design across
+//! compute units (4 CUs for PW advection, one HBM bank per field per CU)
+//! and run iterative stencils over many timesteps. This module supplies
+//! both dimensions for the simulated system:
+//!
+//! - **Spatial**: the domain is decomposed along axis 0 into contiguous
+//!   slabs, one per CU, and the slabs execute *concurrently* on a worker
+//!   pool. Each CU owns a disjoint row range of every output buffer, so
+//!   parallel execution is race-free by construction — workers share only
+//!   the immutable compiled designs and write only their own slab
+//!   buffers; the merge into global buffers happens after the workers
+//!   join (see DESIGN.md §12 for the full ownership argument).
+//! - **Temporal**: [`run_time_marched`] iterates the compiled designs
+//!   over `steps` timesteps. Between steps, neighbouring CUs exchange
+//!   halo rows (each CU's received halo is the neighbour's just-computed
+//!   interior boundary) instead of re-splitting the global domain, and
+//!   nothing is recompiled inside the loop: every distinct slab height is
+//!   compiled exactly once, through the content-addressed
+//!   [`CompileCache`].
+//!
+//! Feedback between steps follows a declaration-order pairing rule
+//! ([`feedback_pairs`]): an `inout` field feeds itself, and the *k*-th
+//! pure `output` field feeds the *k*-th pure `input` field. Unpaired
+//! inputs stay constant across steps. [`time_march_reference`] applies
+//! the same rule to a monolithic (single-domain) runner and is the oracle
+//! the slab path is differentially tested against.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use shmls_fpga_sim::device::Device;
+use shmls_fpga_sim::perf::{hmls_estimate, scale_estimate, PerfEstimate, ScaleEstimate};
+use shmls_frontend::{FieldKind, KernelDef};
+use shmls_ir::error::IrResult;
+use shmls_ir::interp::{iter_box, Buffer};
+use shmls_ir::{ir_bail, ir_error};
+
+use crate::cache::{global_cache, CompileCache};
+use crate::driver::{CompileOptions, CompiledKernel, TargetPath};
+use crate::runner::{run_hls, KernelData, StreamStats};
+
+/// Split `n0` rows into `cus` contiguous `[start, end)` slabs; the
+/// remainder rows go one each to the first CUs, so heights differ by at
+/// most one.
+pub fn partition(n0: i64, cus: usize) -> Vec<(i64, i64)> {
+    let base = n0 / cus as i64;
+    let remainder = n0 % cus as i64;
+    let mut slabs = Vec::with_capacity(cus);
+    let mut start = 0i64;
+    for cu in 0..cus as i64 {
+        let end = start + base + i64::from(cu < remainder);
+        slabs.push((start, end));
+        start = end;
+    }
+    slabs
+}
+
+/// The `(output field, input field)` feedback pairs for time-marching:
+/// every `inout` field feeds itself, and the *k*-th pure `output` feeds
+/// the *k*-th pure `input`, both in declaration order (pairing stops at
+/// the shorter list). Unpaired inputs are held constant.
+pub fn feedback_pairs(kernel: &KernelDef) -> Vec<(String, String)> {
+    let mut pairs: Vec<(String, String)> = kernel
+        .fields
+        .iter()
+        .filter(|f| matches!(f.kind, FieldKind::InOut))
+        .map(|f| (f.name.clone(), f.name.clone()))
+        .collect();
+    let outs = kernel
+        .fields
+        .iter()
+        .filter(|f| matches!(f.kind, FieldKind::Output));
+    let ins = kernel
+        .fields
+        .iter()
+        .filter(|f| matches!(f.kind, FieldKind::Input));
+    pairs.extend(outs.zip(ins).map(|(o, i)| (o.name.clone(), i.name.clone())));
+    pairs
+}
+
+/// A fault injected into the halo exchange: after step `step`
+/// (0-indexed), the first halo row CU `cu` would receive is dropped —
+/// the copy is skipped, leaving the stale value — simulating a lost
+/// exchange message. Used to self-test that the differential harness
+/// detects exchange bugs; a run with `cus == 1`, `halo == 0`, or
+/// `step >= steps - 1` is unaffected (there is no exchange to corrupt,
+/// or no later step to observe it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaloFault {
+    /// The receiving compute unit.
+    pub cu: usize,
+    /// The step after which the exchange is corrupted (0-indexed).
+    pub step: usize,
+}
+
+/// Execution policy for the scale-out runners.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MarchOptions<'a> {
+    /// Run the CU slabs serially instead of on the worker pool (for
+    /// byte-identity checks and speedup measurements).
+    pub serial: bool,
+    /// Compile through this cache instead of the process-wide
+    /// [`global_cache`] — tests use a private cache so hit/miss counts
+    /// are deterministic.
+    pub cache: Option<&'a CompileCache>,
+    /// Corrupt one halo-exchange row (self-test hook).
+    pub fault: Option<HaloFault>,
+}
+
+/// Per-compute-unit execution record.
+#[derive(Debug, Clone)]
+pub struct CuReport {
+    /// Compute unit index.
+    pub cu: usize,
+    /// Owned global row range `[start, end)` on axis 0.
+    pub rows: (i64, i64),
+    /// Interior points this CU produces per step.
+    pub interior_elems: u64,
+    /// Streams instantiated by one step's dataflow execution.
+    pub streams: usize,
+    /// Stream elements pushed, summed over all steps.
+    pub stream_elements: u64,
+    /// 512-bit memory beats, summed over all steps.
+    pub mem_beats: u64,
+    /// Modelled cycles per step for this CU's slab design
+    /// (analytic model, U280 clock).
+    pub model_cycles: u64,
+    /// Wall-clock time this CU spent executing, summed over all steps.
+    pub wall: Duration,
+}
+
+/// Aggregated report for a multi-CU (optionally time-marched) run.
+#[derive(Debug, Clone)]
+pub struct MultiCuReport {
+    /// Compute units used.
+    pub cus: usize,
+    /// Timesteps executed.
+    pub steps: usize,
+    /// Per-CU records, in CU order.
+    pub per_cu: Vec<CuReport>,
+    /// End-to-end wall-clock time (compile excluded, merge included).
+    pub wall: Duration,
+    /// Aggregate interior elements produced per second of wall-clock
+    /// (all CUs, all steps).
+    pub elems_per_s: f64,
+    /// Measured load imbalance: slowest CU's total execution time over
+    /// the mean (`1.0` = perfectly even; wall-clock, so noisy).
+    pub load_imbalance: f64,
+    /// Compile-cache hits among this run's design lookups.
+    pub cache_hits: u64,
+    /// Compile-cache misses (each one compiled a slab design).
+    pub cache_misses: u64,
+    /// Analytic per-step estimate for the CU ensemble.
+    pub model: ScaleEstimate,
+}
+
+impl MultiCuReport {
+    /// Cache hit fraction for this run's design lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One CU's standing state: its compiled design and current slab inputs.
+struct CuState {
+    rows: (i64, i64),
+    compiled: Arc<CompiledKernel>,
+    data: KernelData,
+}
+
+/// Run `kernel` over `cus` compute units for one application of the
+/// stencil, returning the merged outputs and the execution report.
+/// Identical results to [`crate::runner::run_hls_multi_cu`] (which is
+/// now a thin wrapper over this).
+pub fn run_hls_multi_cu_report(
+    kernel: &KernelDef,
+    data: &KernelData,
+    cus: usize,
+    opts: &CompileOptions,
+) -> IrResult<(BTreeMap<String, Buffer>, MultiCuReport)> {
+    run_time_marched_with(kernel, data, 1, cus, opts, &MarchOptions::default())
+}
+
+/// Time-march `kernel` for `steps` timesteps over `cus` parallel compute
+/// units, exchanging halo rows between neighbouring slabs after each
+/// step. Compiles each distinct slab height exactly once (through the
+/// process-wide compile cache), regardless of `steps`.
+pub fn run_time_marched(
+    kernel: &KernelDef,
+    data: &KernelData,
+    steps: usize,
+    cus: usize,
+    opts: &CompileOptions,
+) -> IrResult<(BTreeMap<String, Buffer>, MultiCuReport)> {
+    run_time_marched_with(kernel, data, steps, cus, opts, &MarchOptions::default())
+}
+
+/// [`run_time_marched`] with an explicit execution policy.
+pub fn run_time_marched_with(
+    kernel: &KernelDef,
+    data: &KernelData,
+    steps: usize,
+    cus: usize,
+    opts: &CompileOptions,
+    march: &MarchOptions<'_>,
+) -> IrResult<(BTreeMap<String, Buffer>, MultiCuReport)> {
+    if steps == 0 {
+        ir_bail!("at least one timestep required");
+    }
+    if cus == 0 {
+        ir_bail!("at least one compute unit required");
+    }
+    let n0 = kernel.grid[0];
+    if (cus as i64) > n0 {
+        ir_bail!("cannot split {n0} rows over {cus} compute units");
+    }
+    let halo = kernel.halo;
+    if steps > 1 && cus > 1 && n0 / (cus as i64) < halo {
+        ir_bail!(
+            "slab height {} is smaller than the halo {halo}: \
+             halo exchange cannot supply a full halo (use fewer compute \
+             units or a taller grid)",
+            n0 / (cus as i64)
+        );
+    }
+    let cache: &CompileCache = match march.cache {
+        Some(c) => c,
+        None => global_cache(),
+    };
+    let bounded = shmls_ir::types::StencilBounds::from_extents(&kernel.grid).grown(halo);
+    let pairs = feedback_pairs(kernel);
+
+    // --- compile: once per distinct slab height, never inside the loop --
+    let slab_opts = CompileOptions {
+        paths: TargetPath::HlsOnly,
+        ..opts.clone()
+    };
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut states: Vec<CuState> = Vec::with_capacity(cus);
+    for &(start, end) in &partition(n0, cus) {
+        let mut slab_kernel = kernel.clone();
+        slab_kernel.grid[0] = end - start;
+        let (compiled, hit) = cache.get_or_compile(&slab_kernel, &slab_opts)?;
+        if hit {
+            cache_hits += 1;
+        } else {
+            cache_misses += 1;
+        }
+        let data = slice_slab_data(kernel, data, start, end, &bounded)?;
+        states.push(CuState {
+            rows: (start, end),
+            compiled,
+            data,
+        });
+    }
+
+    // Per-step analytic model, one estimate per CU's slab design.
+    let device = Device::u280();
+    let estimates: Vec<PerfEstimate> = states
+        .iter()
+        .map(|s| {
+            let design = shmls_fpga_sim::design::DesignDescriptor::from_hls_func(
+                &s.compiled.ctx,
+                s.compiled.hls_func,
+            )?;
+            Ok(hmls_estimate(&design, &device, 1))
+        })
+        .collect::<IrResult<_>>()?;
+
+    // --- the step loop ---------------------------------------------------
+    let run_start = Instant::now();
+    let mut walls = vec![Duration::ZERO; cus];
+    let mut stream_elements = vec![0u64; cus];
+    let mut mem_beats = vec![0u64; cus];
+    let mut streams = vec![0usize; cus];
+    let mut last_outputs: Vec<BTreeMap<String, Buffer>> = Vec::new();
+    for step in 0..steps {
+        let step_out = run_all_cus(&states, march.serial)?;
+        for (cu, (_, (n_streams, pushed, beats), wall)) in step_out.iter().enumerate() {
+            streams[cu] = *n_streams;
+            stream_elements[cu] += pushed;
+            mem_beats[cu] += beats;
+            walls[cu] += *wall;
+        }
+        let outputs: Vec<BTreeMap<String, Buffer>> =
+            step_out.into_iter().map(|(out, _, _)| out).collect();
+        if step + 1 < steps {
+            exchange_and_feed(&mut states, &outputs, &pairs, halo, march.fault, step)?;
+        }
+        last_outputs = outputs;
+    }
+
+    // --- merge the final step's interiors into global buffers -----------
+    let mut merged: BTreeMap<String, Buffer> = kernel
+        .fields
+        .iter()
+        .filter(|f| matches!(f.kind, FieldKind::Output | FieldKind::InOut))
+        .map(|f| {
+            (
+                f.name.clone(),
+                Buffer::zeroed(bounded.extents(), bounded.lb.clone()),
+            )
+        })
+        .collect();
+    for (state, slab_out) in states.iter().zip(&last_outputs) {
+        let (start, end) = state.rows;
+        for (name, slab_buffer) in slab_out {
+            let global = merged
+                .get_mut(name)
+                .ok_or_else(|| ir_error!("unexpected output `{name}`"))?;
+            let mut lo = vec![0i64; kernel.rank()];
+            let mut hi = kernel.grid.clone();
+            lo[0] = 0;
+            hi[0] = end - start;
+            for p in iter_box(&lo, &hi) {
+                let mut q = p.clone();
+                q[0] += start;
+                global.store(&q, slab_buffer.load(&p)?)?;
+            }
+        }
+    }
+    let wall = run_start.elapsed();
+
+    // --- report ----------------------------------------------------------
+    let off_axis: i64 = kernel.grid[1..].iter().product();
+    let per_cu: Vec<CuReport> = states
+        .iter()
+        .enumerate()
+        .map(|(cu, s)| CuReport {
+            cu,
+            rows: s.rows,
+            interior_elems: ((s.rows.1 - s.rows.0) * off_axis) as u64,
+            streams: streams[cu],
+            stream_elements: stream_elements[cu],
+            mem_beats: mem_beats[cu],
+            model_cycles: estimates[cu].cycles,
+            wall: walls[cu],
+        })
+        .collect();
+    let total_elems: u64 = per_cu.iter().map(|c| c.interior_elems).sum::<u64>() * steps as u64;
+    let mean_wall = walls.iter().map(|w| w.as_secs_f64()).sum::<f64>() / cus as f64;
+    let max_wall = walls.iter().map(|w| w.as_secs_f64()).fold(0.0f64, f64::max);
+    let report = MultiCuReport {
+        cus,
+        steps,
+        per_cu,
+        wall,
+        elems_per_s: total_elems as f64 / wall.as_secs_f64().max(1e-9),
+        load_imbalance: if mean_wall > 0.0 {
+            max_wall / mean_wall
+        } else {
+            1.0
+        },
+        cache_hits,
+        cache_misses,
+        model: scale_estimate(&estimates),
+    };
+    Ok((merged, report))
+}
+
+/// Monolithic time-marching oracle: apply `run_once` to the full domain
+/// `steps` times, feeding outputs back to inputs by [`feedback_pairs`].
+/// The slab path is differentially tested against this with `run_once`
+/// ranging over the single-CU engines and the stencil interpreter.
+pub fn time_march_reference<F>(
+    kernel: &KernelDef,
+    data: &KernelData,
+    steps: usize,
+    mut run_once: F,
+) -> IrResult<BTreeMap<String, Buffer>>
+where
+    F: FnMut(&KernelData) -> IrResult<BTreeMap<String, Buffer>>,
+{
+    if steps == 0 {
+        ir_bail!("at least one timestep required");
+    }
+    let pairs = feedback_pairs(kernel);
+    let mut current = data.clone();
+    let mut last = BTreeMap::new();
+    for step in 0..steps {
+        last = run_once(&current)?;
+        if step + 1 < steps {
+            for (out_name, in_name) in &pairs {
+                let fed = last
+                    .get(out_name)
+                    .ok_or_else(|| ir_error!("missing feedback output `{out_name}`"))?
+                    .clone();
+                current.buffers.insert(in_name.clone(), fed);
+            }
+        }
+    }
+    Ok(last)
+}
+
+/// Slice one CU's halo-padded slab inputs out of the global buffers:
+/// fields get rows `[start-halo, end+halo)` re-indexed to slab
+/// coordinates, axis-0 params are sliced likewise, other params and
+/// scalars pass through.
+fn slice_slab_data(
+    kernel: &KernelDef,
+    data: &KernelData,
+    start: i64,
+    end: i64,
+    bounded: &shmls_ir::types::StencilBounds,
+) -> IrResult<KernelData> {
+    let halo = kernel.halo;
+    let height = end - start;
+    let mut slab_data = KernelData::default();
+    for (name, value) in &data.scalars {
+        slab_data = slab_data.scalar(name, *value);
+    }
+    for field in &kernel.fields {
+        if !matches!(field.kind, FieldKind::Input | FieldKind::InOut) {
+            continue;
+        }
+        let global = data
+            .buffers
+            .get(&field.name)
+            .ok_or_else(|| ir_error!("missing input buffer `{}`", field.name))?;
+        let mut slab_extents = bounded.extents();
+        slab_extents[0] = height + 2 * halo;
+        let mut slab_lb = bounded.lb.clone();
+        slab_lb[0] = -halo;
+        let mut slab = Buffer::zeroed(slab_extents, slab_lb);
+        let mut lo = bounded.lb.clone();
+        lo[0] = start - halo;
+        let mut hi = bounded.ub.clone();
+        hi[0] = end + halo;
+        for p in iter_box(&lo, &hi) {
+            let mut q = p.clone();
+            q[0] -= start;
+            slab.store(&q, global.load(&p)?)?;
+        }
+        slab_data = slab_data.buffer(&field.name, slab);
+    }
+    for p in &kernel.params {
+        let global = data
+            .buffers
+            .get(&p.name)
+            .ok_or_else(|| ir_error!("missing param buffer `{}`", p.name))?;
+        if p.axis == 0 {
+            let mut slab = Buffer::zeroed(vec![height + 2 * halo], vec![0]);
+            for i in 0..height + 2 * halo {
+                slab.store(&[i], global.load(&[i + start])?)?;
+            }
+            slab_data = slab_data.buffer(&p.name, slab);
+        } else {
+            slab_data = slab_data.buffer(&p.name, global.clone());
+        }
+    }
+    Ok(slab_data)
+}
+
+/// Run every CU's slab once — concurrently on scoped worker threads, or
+/// serially when asked. Workers share only `&CuState` (the compiled
+/// design is immutable during execution) and each returns its own
+/// outputs; nothing is written to shared state until after the join.
+#[allow(clippy::type_complexity)]
+fn run_all_cus(
+    states: &[CuState],
+    serial: bool,
+) -> IrResult<Vec<(BTreeMap<String, Buffer>, StreamStats, Duration)>> {
+    let run_one = |s: &CuState| -> IrResult<(BTreeMap<String, Buffer>, StreamStats, Duration)> {
+        let t0 = Instant::now();
+        let (out, stats) = run_hls(&s.compiled, &s.data)?;
+        Ok((out, stats, t0.elapsed()))
+    };
+    if serial || states.len() == 1 {
+        return states.iter().map(run_one).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = states
+            .iter()
+            .map(|s| scope.spawn(move || run_one(s)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("compute-unit worker panicked"))
+            .collect()
+    })
+}
+
+/// Build every CU's next-step inputs from this step's outputs: each
+/// paired input starts as the CU's own returned output buffer (so its
+/// interior and its share of the global boundary are already correct),
+/// then the axis-0 halo rows are overwritten with the neighbours'
+/// just-computed boundary rows — rows `[-halo, 0)` from the previous
+/// CU's top interior rows, rows `[height, height+halo)` from the next
+/// CU's bottom interior rows. Full rows are exchanged (off-axis halo
+/// columns included): the neighbour's slab holds exactly the global
+/// values there. Global-boundary halos are never exchanged; the CU's own
+/// buffer already carries the monolithic values (zero for pure outputs,
+/// the original data for `inout` fields).
+fn exchange_and_feed(
+    states: &mut [CuState],
+    outputs: &[BTreeMap<String, Buffer>],
+    pairs: &[(String, String)],
+    halo: i64,
+    fault: Option<HaloFault>,
+    step: usize,
+) -> IrResult<()> {
+    let cus = states.len();
+    for cu in 0..cus {
+        // Drop the first row this CU would receive, if a fault targets
+        // this CU at this step.
+        let mut drop_next = matches!(fault, Some(f) if f.cu == cu && f.step == step);
+        let height = states[cu].rows.1 - states[cu].rows.0;
+        for (out_name, in_name) in pairs {
+            let own = outputs[cu]
+                .get(out_name)
+                .ok_or_else(|| ir_error!("missing feedback output `{out_name}`"))?;
+            let mut fed = own.clone();
+            if cu > 0 {
+                // Rows [-halo, 0) ← previous CU's rows [prev_h - halo, prev_h).
+                let prev = &outputs[cu - 1][out_name];
+                let prev_h = states[cu - 1].rows.1 - states[cu - 1].rows.0;
+                for r in 0..halo {
+                    if std::mem::take(&mut drop_next) {
+                        continue;
+                    }
+                    copy_row(prev, prev_h - halo + r, &mut fed, r - halo)?;
+                }
+            }
+            if cu + 1 < cus {
+                // Rows [height, height + halo) ← next CU's rows [0, halo).
+                let next = &outputs[cu + 1][out_name];
+                for r in 0..halo {
+                    if std::mem::take(&mut drop_next) {
+                        continue;
+                    }
+                    copy_row(next, r, &mut fed, height + r)?;
+                }
+            }
+            states[cu].data.buffers.insert(in_name.clone(), fed);
+        }
+    }
+    Ok(())
+}
+
+/// Copy one full axis-0 row (all other axes, halo included) between two
+/// equally-shaped slab buffers.
+fn copy_row(src: &Buffer, src_row: i64, dst: &mut Buffer, dst_row: i64) -> IrResult<()> {
+    let mut lo = dst.origin.clone();
+    let mut hi: Vec<i64> = dst
+        .origin
+        .iter()
+        .zip(&dst.shape)
+        .map(|(o, s)| o + s)
+        .collect();
+    lo[0] = src_row;
+    hi[0] = src_row + 1;
+    for p in iter_box(&lo, &hi) {
+        let mut q = p.clone();
+        q[0] = dst_row;
+        dst.store(&q, src.load(&p)?)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmls_frontend::parse_kernel;
+
+    #[test]
+    fn partition_distributes_remainder_to_leading_cus() {
+        assert_eq!(partition(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(partition(8, 4), vec![(0, 2), (2, 4), (4, 6), (6, 8)]);
+        assert_eq!(partition(5, 1), vec![(0, 5)]);
+        let slabs = partition(7, 7);
+        assert_eq!(slabs.len(), 7);
+        assert!(slabs.iter().all(|(s, e)| e - s == 1));
+    }
+
+    #[test]
+    fn feedback_pairs_inout_and_positional() {
+        let k = parse_kernel(
+            "kernel f { grid(6, 6) halo 1 \
+             field a : input field s : inout field b : output \
+             compute s { s = a[0,1] } compute b { b = s[0,0] } }",
+        )
+        .unwrap();
+        assert_eq!(
+            feedback_pairs(&k),
+            vec![
+                ("s".to_string(), "s".to_string()),
+                ("b".to_string(), "a".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn feedback_pairs_stop_at_shorter_list() {
+        let k = parse_kernel(
+            "kernel g { grid(6, 6) halo 1 field a : input field b : output \
+             field c : output compute b { b = a[0,1] } compute c { c = a[1,0] } }",
+        )
+        .unwrap();
+        // Two outputs, one input: only the first output is fed back.
+        assert_eq!(feedback_pairs(&k), vec![("b".to_string(), "a".to_string())]);
+    }
+}

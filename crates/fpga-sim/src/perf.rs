@@ -100,6 +100,42 @@ pub fn hmls_estimate(design: &DesignDescriptor, device: &Device, cus: u32) -> Pe
     }
 }
 
+/// Aggregate estimate for a set of compute units executing concurrently
+/// over a domain decomposition (possibly with unequal slab heights).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleEstimate {
+    /// Modelled cycles per compute unit, in CU order.
+    pub per_cu_cycles: Vec<u64>,
+    /// Concurrent makespan: the slowest CU bounds the step.
+    pub makespan_cycles: u64,
+    /// Serial-equivalent work: the sum over CUs (what a one-CU device
+    /// iterating the slabs would spend).
+    pub sum_cycles: u64,
+    /// Load imbalance: slowest CU over the mean, `1.0` = perfectly even.
+    pub load_imbalance: f64,
+}
+
+/// Combine per-CU estimates (one [`hmls_estimate`] per slab design) into
+/// a [`ScaleEstimate`] for the concurrent ensemble.
+pub fn scale_estimate(per_cu: &[PerfEstimate]) -> ScaleEstimate {
+    assert!(!per_cu.is_empty(), "at least one compute unit");
+    let per_cu_cycles: Vec<u64> = per_cu.iter().map(|e| e.cycles).collect();
+    let makespan_cycles = per_cu_cycles.iter().copied().max().unwrap_or(0);
+    let sum_cycles = per_cu_cycles.iter().sum();
+    let mean = sum_cycles as f64 / per_cu_cycles.len() as f64;
+    let load_imbalance = if mean > 0.0 {
+        makespan_cycles as f64 / mean
+    } else {
+        1.0
+    };
+    ScaleEstimate {
+        per_cu_cycles,
+        makespan_cycles,
+        sum_cycles,
+        load_imbalance,
+    }
+}
+
 fn stage_name(stage: &Stage, index: usize) -> String {
     match stage {
         Stage::Load { .. } => format!("load[{index}]"),
@@ -247,6 +283,22 @@ mod tests {
         // fallback): 4 × STAGE_FILL_CYCLES.
         assert_eq!(e.fill_cycles, 4 * STAGE_FILL_CYCLES);
         assert_eq!(e.cycles, e.steady_cycles + e.fill_cycles);
+    }
+
+    #[test]
+    fn scale_estimate_aggregates_uneven_slabs() {
+        let device = Device::u280();
+        // 7 rows over 2 CUs: slabs of 4 and 3 rows — uneven by design.
+        let tall = hmls_estimate(&toy_design(4_000, 4_840), &device, 1);
+        let short = hmls_estimate(&toy_design(3_000, 3_630), &device, 1);
+        let s = scale_estimate(&[tall.clone(), short.clone()]);
+        assert_eq!(s.per_cu_cycles, vec![tall.cycles, short.cycles]);
+        assert_eq!(s.makespan_cycles, tall.cycles.max(short.cycles));
+        assert_eq!(s.sum_cycles, tall.cycles + short.cycles);
+        assert!(s.load_imbalance >= 1.0, "{}", s.load_imbalance);
+        // Even slabs: imbalance collapses to exactly 1.
+        let even = scale_estimate(&[tall.clone(), tall]);
+        assert!((even.load_imbalance - 1.0).abs() < 1e-12);
     }
 
     #[test]

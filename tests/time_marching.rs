@@ -1,0 +1,255 @@
+//! Scale-out execution: parallel CU workers must be byte-identical to
+//! the serial path, time-marching with halo exchange must match the
+//! monolithic reference, the compile cache must make the compile count
+//! independent of the step count, and the error paths and the
+//! fault-injection self-test must all fire.
+
+use std::collections::BTreeMap;
+
+use shmls_ir::interp::Buffer;
+use shmls_kernels::pw_advection;
+use stencil_hmls::cache::CompileCache;
+use stencil_hmls::runner::{run_hls, run_hls_multi_cu, KernelData};
+use stencil_hmls::scale::{
+    run_time_marched, run_time_marched_with, time_march_reference, HaloFault, MarchOptions,
+};
+use stencil_hmls::{compile, CompileOptions, TargetPath};
+
+fn pw_data(n: [i64; 3]) -> (shmls_frontend::KernelDef, KernelData) {
+    let kernel = shmls_frontend::parse_kernel(&pw_advection::source(n[0], n[1], n[2])).unwrap();
+    let inputs = pw_advection::PwInputs::random(n[0], n[1], n[2], 23);
+    let data = KernelData::default()
+        .buffer("u", inputs.u.to_buffer())
+        .buffer("v", inputs.v.to_buffer())
+        .buffer("w", inputs.w.to_buffer())
+        .buffer("tzc1", inputs.tzc1.to_buffer())
+        .buffer("tzc2", inputs.tzc2.to_buffer())
+        .buffer("tzd1", inputs.tzd1.to_buffer())
+        .buffer("tzd2", inputs.tzd2.to_buffer())
+        .scalar("tcx", inputs.tcx)
+        .scalar("tcy", inputs.tcy);
+    (kernel, data)
+}
+
+fn opts() -> CompileOptions {
+    CompileOptions {
+        paths: TargetPath::HlsOnly,
+        ..Default::default()
+    }
+}
+
+/// Assert two output maps are bit-for-bit identical (shape, origin, and
+/// every stored f64, halo included).
+fn assert_bitwise_eq(a: &BTreeMap<String, Buffer>, b: &BTreeMap<String, Buffer>, what: &str) {
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "{what}: output fields differ"
+    );
+    for (name, ba) in a {
+        let bb = &b[name];
+        assert_eq!(ba.shape, bb.shape, "{what}: `{name}` shape");
+        assert_eq!(ba.origin, bb.origin, "{what}: `{name}` origin");
+        for (i, (va, vb)) in ba.data.iter().zip(&bb.data).enumerate() {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "{what}: `{name}` word {i}: {va} vs {vb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_cus_byte_identical_to_serial() {
+    let (kernel, data) = pw_data([11, 6, 5]);
+    let serial = MarchOptions {
+        serial: true,
+        ..Default::default()
+    };
+    for steps in [1usize, 3] {
+        let (par, _) = run_time_marched(&kernel, &data, steps, 4, &opts()).unwrap();
+        let (seq, _) = run_time_marched_with(&kernel, &data, steps, 4, &opts(), &serial).unwrap();
+        assert_bitwise_eq(&par, &seq, &format!("steps={steps}"));
+    }
+}
+
+#[test]
+fn one_step_matches_run_hls_multi_cu_exactly() {
+    let (kernel, data) = pw_data([10, 6, 5]);
+    for cus in [1usize, 3] {
+        let merged = run_hls_multi_cu(&kernel, &data, cus, &opts()).unwrap();
+        let (marched, report) = run_time_marched(&kernel, &data, 1, cus, &opts()).unwrap();
+        assert_bitwise_eq(&merged, &marched, &format!("cus={cus}"));
+        assert_eq!(report.steps, 1);
+        assert_eq!(report.cus, cus);
+    }
+}
+
+#[test]
+fn time_marching_matches_monolithic_reference() {
+    let n = [10, 6, 5];
+    let (kernel, data) = pw_data(n);
+    let single = compile(&pw_advection::source(n[0], n[1], n[2]), &opts()).unwrap();
+    let reference = time_march_reference(&kernel, &data, 3, |d| {
+        run_hls(&single, d).map(|(out, _)| out)
+    })
+    .unwrap();
+    let (marched, _) = run_time_marched(&kernel, &data, 3, 3, &opts()).unwrap();
+    // Same floating-point operations on the same values in the same
+    // per-point order: the slab path must agree bit-for-bit on the
+    // interior (the monolithic reference carries different halo values,
+    // so compare interior points only).
+    for (name, mono) in &reference {
+        let slab = &marched[name];
+        for p in shmls_ir::interp::iter_box(&[0, 0, 0], &n) {
+            let va = mono.load(&p).unwrap();
+            let vb = slab.load(&p).unwrap();
+            assert_eq!(va.to_bits(), vb.to_bits(), "{name} at {p:?}: {va} vs {vb}");
+        }
+    }
+}
+
+#[test]
+fn error_paths_are_reported() {
+    let (kernel, data) = pw_data([6, 5, 4]);
+    let e = run_time_marched(&kernel, &data, 0, 2, &opts()).unwrap_err();
+    assert!(e.to_string().contains("at least one timestep"), "{e}");
+    let e = run_time_marched(&kernel, &data, 1, 0, &opts()).unwrap_err();
+    assert!(e.to_string().contains("at least one compute unit"), "{e}");
+    let e = run_time_marched(&kernel, &data, 1, 7, &opts()).unwrap_err();
+    assert!(e.to_string().contains("cannot split"), "{e}");
+}
+
+#[test]
+fn slab_height_below_halo_rejected_for_multi_step() {
+    // halo-2 kernel on 5 rows over 3 CUs: slabs of 1–2 rows cannot
+    // source a 2-row halo from one neighbour.
+    let kernel = shmls_frontend::parse_kernel(
+        "kernel deep { grid(5, 6) halo 2 field a : input field b : output \
+         compute b { b = a[-2,0] + a[0,2] } }",
+    )
+    .unwrap();
+    let mut a = Buffer::zeroed(vec![9, 10], vec![-2, -2]);
+    for r in -2..7 {
+        for c in -2..8 {
+            a.store(&[r, c], (3 * r + c) as f64).unwrap();
+        }
+    }
+    let data = KernelData::default().buffer("a", a);
+    let e = run_time_marched(&kernel, &data, 2, 3, &opts()).unwrap_err();
+    assert!(
+        e.to_string().contains("smaller than the halo"),
+        "expected slab-height error, got: {e}"
+    );
+    // A single step needs no exchange, so the same split is fine.
+    run_time_marched(&kernel, &data, 1, 3, &opts()).unwrap();
+}
+
+#[test]
+fn dropped_halo_row_changes_the_answer() {
+    // Self-test of the differential harness: a lost halo-exchange
+    // message must be observable in the next step's output.
+    let (kernel, data) = pw_data([8, 6, 5]);
+    let (clean, _) = run_time_marched(&kernel, &data, 2, 2, &opts()).unwrap();
+    let faulty_march = MarchOptions {
+        fault: Some(HaloFault { cu: 1, step: 0 }),
+        ..Default::default()
+    };
+    let (faulty, _) = run_time_marched_with(&kernel, &data, 2, 2, &opts(), &faulty_march).unwrap();
+    let mut differs = false;
+    for (name, cb) in &clean {
+        let fb = &faulty[name];
+        for (va, vb) in cb.data.iter().zip(&fb.data) {
+            if va.to_bits() != vb.to_bits() {
+                differs = true;
+            }
+        }
+        let _ = name;
+    }
+    assert!(differs, "dropping an exchanged halo row went undetected");
+}
+
+#[test]
+fn compile_count_is_independent_of_steps() {
+    let (kernel, data) = pw_data([10, 6, 5]);
+    // 10 rows over 3 CUs → heights 4, 3, 3: two distinct designs.
+    let cache1 = CompileCache::new();
+    let march1 = MarchOptions {
+        cache: Some(&cache1),
+        ..Default::default()
+    };
+    let (_, one_step) = run_time_marched_with(&kernel, &data, 1, 3, &opts(), &march1).unwrap();
+    let cache9 = CompileCache::new();
+    let march9 = MarchOptions {
+        cache: Some(&cache9),
+        ..Default::default()
+    };
+    let (_, nine_steps) = run_time_marched_with(&kernel, &data, 9, 3, &opts(), &march9).unwrap();
+    assert_eq!(one_step.cache_misses, 2, "two distinct slab heights");
+    assert_eq!(one_step.cache_hits, 1, "third CU reuses a design");
+    assert_eq!(
+        nine_steps.cache_misses, one_step.cache_misses,
+        "compile count must not grow with steps"
+    );
+    assert_eq!(cache9.stats().misses, 2);
+    // A second run through the same cache compiles nothing.
+    let (_, warm) = run_time_marched_with(&kernel, &data, 1, 3, &opts(), &march9).unwrap();
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(warm.cache_hits, 3);
+}
+
+#[test]
+fn report_aggregates_are_consistent() {
+    let (kernel, data) = pw_data([10, 6, 5]);
+    let (_, report) = run_time_marched(&kernel, &data, 2, 3, &opts()).unwrap();
+    assert_eq!(report.per_cu.len(), 3);
+    // The slabs tile the axis without gaps or overlap.
+    assert_eq!(report.per_cu[0].rows, (0, 4));
+    assert_eq!(report.per_cu[1].rows, (4, 7));
+    assert_eq!(report.per_cu[2].rows, (7, 10));
+    let elems: u64 = report.per_cu.iter().map(|c| c.interior_elems).sum();
+    assert_eq!(elems, 10 * 6 * 5);
+    assert!(report.elems_per_s > 0.0);
+    assert!(report.load_imbalance >= 1.0);
+    assert!(report.cache_hit_rate() > 0.0);
+    // Model aggregates mirror the per-CU cycle estimates.
+    let max_cycles = report.per_cu.iter().map(|c| c.model_cycles).max().unwrap();
+    assert_eq!(report.model.makespan_cycles, max_cycles);
+    assert_eq!(report.model.per_cu_cycles.len(), 3);
+    for cu in &report.per_cu {
+        assert!(cu.stream_elements > 0);
+        assert!(cu.streams > 0);
+    }
+}
+
+#[test]
+fn inout_accumulator_marches_like_the_reference() {
+    // An `inout` field feeds itself; the constant input `a` is unpaired
+    // because there is no pure output to feed it.
+    let kernel = shmls_frontend::parse_kernel(
+        "kernel acc { grid(8, 6) halo 1 field a : input field t : inout \
+         compute t { t = t[0,0] + a[0,1] + a[1,0] } }",
+    )
+    .unwrap();
+    let mut a = Buffer::zeroed(vec![10, 8], vec![-1, -1]);
+    let mut t = Buffer::zeroed(vec![10, 8], vec![-1, -1]);
+    for r in -1..9 {
+        for c in -1..7 {
+            a.store(&[r, c], (r - 2 * c) as f64).unwrap();
+            t.store(&[r, c], (r * c) as f64).unwrap();
+        }
+    }
+    let data = KernelData::default().buffer("a", a).buffer("t", t);
+    let single = compile(&shmls_frontend::kernel_to_source(&kernel), &opts()).unwrap();
+    let reference = time_march_reference(&kernel, &data, 4, |d| {
+        run_hls(&single, d).map(|(out, _)| out)
+    })
+    .unwrap();
+    let (marched, _) = run_time_marched(&kernel, &data, 4, 2, &opts()).unwrap();
+    for p in shmls_ir::interp::iter_box(&[0, 0], &[8, 6]) {
+        let va = reference["t"].load(&p).unwrap();
+        let vb = marched["t"].load(&p).unwrap();
+        assert_eq!(va.to_bits(), vb.to_bits(), "t at {p:?}: {va} vs {vb}");
+    }
+}
