@@ -20,9 +20,11 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
-use shmls_kernels::{pw_advection, tracer_advection};
+use shmls_kernels::{laplace, pw_advection, tracer_advection};
 use stencil_hmls::cache::CompileCache;
-use stencil_hmls::runner::{run_hls, run_hls_threaded, KernelData};
+use stencil_hmls::runner::{
+    run_hls, run_hls_threaded, run_stencil, run_stencil_bytecode, KernelData,
+};
 use stencil_hmls::scale::{run_time_marched_with, MarchOptions};
 use stencil_hmls::{compile, CompileOptions, CompiledKernel};
 
@@ -129,10 +131,21 @@ fn bench_kernels(quick: bool) -> Vec<(&'static str, [i64; 3])> {
     }
 }
 
+/// The interpreter-tier kernels (tree-walker vs bytecode), with their
+/// grids per mode. The ISSUE's ≥2× speedup target is measured on these.
+fn interp_kernels(quick: bool) -> Vec<(&'static str, [i64; 3])> {
+    if quick {
+        vec![("laplace", [12, 12, 12]), ("pw_advection", [10, 8, 6])]
+    } else {
+        vec![("laplace", [20, 20, 20]), ("pw_advection", [16, 14, 10])]
+    }
+}
+
 /// DSL source for a named bench kernel at `grid`. Panics on an unknown
 /// name — callers validate against [`bench_kernel_names`] first.
 pub fn source_for(kernel: &str, grid: [i64; 3]) -> String {
     match kernel {
+        "laplace" => laplace::source_3d(grid[0], grid[1], grid[2]),
         "pw_advection" => pw_advection::source(grid[0], grid[1], grid[2]),
         "tracer_advection" => tracer_advection::source(grid[0], grid[1], grid[2]),
         other => unreachable!("unknown bench kernel `{other}`"),
@@ -141,7 +154,7 @@ pub fn source_for(kernel: &str, grid: [i64; 3]) -> String {
 
 /// The names [`source_for`] and [`kernel_data`] accept.
 pub fn bench_kernel_names() -> &'static [&'static str] {
-    &["pw_advection", "tracer_advection"]
+    &["laplace", "pw_advection", "tracer_advection"]
 }
 
 /// Deterministic random input data for a named bench kernel at `grid`
@@ -149,6 +162,13 @@ pub fn bench_kernel_names() -> &'static [&'static str] {
 pub fn kernel_data(kernel: &str, grid: [i64; 3]) -> KernelData {
     let [nx, ny, nz] = grid;
     match kernel {
+        "laplace" => {
+            let mut a = shmls_kernels::Grid3::zeros([nx, ny, nz], 1);
+            a.fill_random(5);
+            KernelData::default()
+                .buffer("a", a.to_buffer())
+                .scalar("w", 0.15)
+        }
         "pw_advection" => {
             let inputs = pw_advection::PwInputs::random(nx, ny, nz, 1);
             KernelData::default()
@@ -343,6 +363,53 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, String> {
         metrics.insert(
             format!("sim/{kname}/cycles"),
             det(stepped.cycles as f64, "cycles"),
+        );
+    }
+
+    // --- interpreter tiers: tree-walker vs bytecode ------------------------
+    // Both tiers execute the same stencil-dialect function on identical
+    // data; the bytecode tier must be bitwise-identical (the conformance
+    // suite enforces that) and substantially faster (the compare gate
+    // enforces *that*: `bytecode_speedup` is higher-is-better, so a
+    // silent fallback to the tree-walker reads as a large regression).
+    for (kname, grid) in interp_kernels(quick) {
+        let compiled = compile(&source_for(kname, grid), &CompileOptions::default())
+            .map_err(|e| format!("compiling {kname} for the interp bench: {e}"))?;
+        if compiled.apply_plans.is_empty() {
+            return Err(format!("{kname}: no stencil.apply compiled to bytecode"));
+        }
+        let data = kernel_data(kname, grid);
+        let points: i64 = grid.iter().product();
+
+        // Best-of-3: both tiers are deterministic, so the minimum is the
+        // noise-resistant estimate of the true cost.
+        let mut tree_best = Duration::MAX;
+        let mut byte_best = Duration::MAX;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            run_stencil(&compiled, &data).map_err(|e| format!("{kname} tree-walker: {e}"))?;
+            tree_best = tree_best.min(t0.elapsed());
+            let t0 = Instant::now();
+            run_stencil_bytecode(&compiled, &data)
+                .map_err(|e| format!("{kname} bytecode tier: {e}"))?;
+            byte_best = byte_best.min(t0.elapsed());
+        }
+        metrics.insert(
+            format!("interp/{kname}/tree_elems_per_s"),
+            throughput(points as f64 / tree_best.as_secs_f64().max(1e-9)),
+        );
+        metrics.insert(
+            format!("interp/{kname}/bytecode_elems_per_s"),
+            throughput(points as f64 / byte_best.as_secs_f64().max(1e-9)),
+        );
+        metrics.insert(
+            format!("interp/{kname}/bytecode_speedup"),
+            Metric {
+                value: tree_best.as_secs_f64() / byte_best.as_secs_f64().max(1e-9),
+                unit: "x".to_string(),
+                better: Better::Higher,
+                noise: Noise::WallClock,
+            },
         );
     }
 

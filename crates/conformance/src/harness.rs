@@ -18,7 +18,9 @@ use shmls_fpga_sim::design::DesignDescriptor;
 use shmls_frontend::{FieldKind, KernelDef};
 use shmls_ir::attributes::Attribute;
 use shmls_ir::interp::Buffer;
-use stencil_hmls::runner::{run_cpu, run_hls, run_hls_threaded, run_stencil, KernelData};
+use stencil_hmls::runner::{
+    run_cpu, run_hls, run_hls_threaded, run_stencil, run_stencil_bytecode, KernelData,
+};
 use stencil_hmls::scale::{run_time_marched, time_march_reference};
 use stencil_hmls::{compile_kernel, CompileOptions, CompiledKernel, TargetPath};
 
@@ -28,6 +30,10 @@ use crate::rng::Rng;
 /// *against* it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
+    /// Bytecode tier: the stencil function with every `stencil.apply`
+    /// executed as a compiled register program. Checked at zero ULPs —
+    /// the tier's contract is bitwise equality with the tree-walker.
+    Bytecode,
     /// Von-Neumann loop-nest lowering, interpreted.
     Cpu,
     /// Sequential Kahn executor over the HLS dataflow design.
@@ -41,11 +47,18 @@ pub enum Engine {
 
 impl Engine {
     /// Every engine, in check order.
-    pub const ALL: [Engine; 4] = [Engine::Cpu, Engine::Hls, Engine::Threaded, Engine::Cycle];
+    pub const ALL: [Engine; 5] = [
+        Engine::Bytecode,
+        Engine::Cpu,
+        Engine::Hls,
+        Engine::Threaded,
+        Engine::Cycle,
+    ];
 
     /// CLI name.
     pub fn name(&self) -> &'static str {
         match self {
+            Engine::Bytecode => "bytecode",
             Engine::Cpu => "cpu",
             Engine::Hls => "hls",
             Engine::Threaded => "threaded",
@@ -395,6 +408,15 @@ fn check_engine(
         compare_outputs(engine, &compiled.kernel, oracle, out, opts.max_ulps)
     };
     match engine {
+        Engine::Bytecode => match run_stencil_bytecode(compiled, data) {
+            // Bitwise contract: the bytecode tier is checked at zero
+            // ULPs, whatever tolerance the other engines run under.
+            Ok(out) => compare_outputs(engine, &compiled.kernel, oracle, &out, 0),
+            Err(e) => Some(Failure::Engine {
+                engine,
+                error: e.to_string(),
+            }),
+        },
         Engine::Cpu => match run_cpu(compiled, data) {
             Ok(out) => compare(&out),
             Err(e) => Some(Failure::Engine {
@@ -581,9 +603,18 @@ fn compare_outputs(
     })
 }
 
-/// ULP distance between two doubles under IEEE total order. Equal values
-/// (including `-0.0 == 0.0`) and NaN-vs-NaN are distance 0; NaN against a
-/// number is `u64::MAX`.
+/// ULP distance between two doubles. Equal values (including
+/// `-0.0 == 0.0`) and NaN-vs-NaN are distance 0; NaN against a number is
+/// `u64::MAX`.
+///
+/// Finite values are compared through the standard sign-magnitude
+/// mapping: reinterpret the bits as `i64` and reflect negative values
+/// through `i64::MIN - bits`, which sends *both* zeros to 0 and makes
+/// the integer line monotone in the float line. The previous mapping
+/// (flip negatives, set the sign bit on positives) kept `-0.0` and
+/// `+0.0` as two distinct codes, so any pair straddling zero measured
+/// one ULP too wide — `(-ε, +ε)` reported 3 instead of 2, which matters
+/// when the harness's tolerance is a small ULP budget.
 pub fn ulp_distance(a: f64, b: f64) -> u64 {
     if a == b || (a.is_nan() && b.is_nan()) {
         return 0;
@@ -591,12 +622,12 @@ pub fn ulp_distance(a: f64, b: f64) -> u64 {
     if a.is_nan() || b.is_nan() {
         return u64::MAX;
     }
-    fn key(x: f64) -> u64 {
-        let bits = x.to_bits();
-        if bits & (1 << 63) != 0 {
-            !bits
+    fn key(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN - bits
         } else {
-            bits | (1 << 63)
+            bits
         }
     }
     key(a).abs_diff(key(b))
@@ -777,5 +808,22 @@ kernel h {
             1
         );
         assert!(ulp_distance(-1.0, 1.0) > 1 << 60);
+    }
+
+    #[test]
+    fn ulp_distance_zero_straddle_regression() {
+        // The ±0.0 sign boundary: both zeros must map to the same code,
+        // so a pair straddling zero is exactly the sum of each side's
+        // distance to zero — not one wider.
+        let eps = f64::from_bits(1); // smallest positive subnormal
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(-0.0, 0.0), 0);
+        assert_eq!(ulp_distance(0.0, eps), 1);
+        assert_eq!(ulp_distance(-0.0, eps), 1);
+        assert_eq!(ulp_distance(-eps, 0.0), 1);
+        assert_eq!(ulp_distance(-eps, eps), 2, "was 3 under the old mapping");
+        let two_eps = f64::from_bits(2);
+        assert_eq!(ulp_distance(-eps, two_eps), 3);
+        assert_eq!(ulp_distance(-two_eps, two_eps), 4);
     }
 }

@@ -1,0 +1,192 @@
+//! Property test for the bytecode tier: for generated kernels, the flat
+//! register programs compiled from every `stencil.apply` must reproduce
+//! the tree-walking interpreter **bit for bit** — the bytecode emits the
+//! exact same f64 operation sequence, so any ULP of drift is a compile
+//! bug, not rounding. The same holds one layer down: the threaded
+//! engine's stage plans (shmls-fpga-sim's `stageplan`) must leave the
+//! dataflow results bitwise-identical to the sequential Kahn engine,
+//! which still tree-walks every stage body.
+//!
+//! The deterministic sweep runs everywhere; the proptest property widens
+//! the seed space in CI. The fault-injection test closes the loop: a
+//! single flipped opcode in a compiled plan must be caught by the same
+//! differential that the sweep relies on, proving the harness can see
+//! miscompiles at all.
+//!
+//! Regression note: this differential is what exposed the input-register
+//! recycling bug (a scalar constant's register was reused as a temp
+//! destination, so every grid point after the first read the previous
+//! point's result) — pinned as `input_registers_survive_repeated_runs`
+//! in `shmls_ir::bytecode`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use shmls_conformance::generator::generate;
+use shmls_conformance::harness::make_data;
+use shmls_conformance::rng::Rng;
+use shmls_conformance::GenOptions;
+use shmls_ir::bytecode::{BinOp, Instr, UnOp};
+use shmls_ir::interp::iter_box;
+use stencil_hmls::runner::{
+    run_hls, run_hls_threaded, run_stencil, run_stencil_bytecode,
+};
+use stencil_hmls::{compile_kernel, CompileOptions, CompiledKernel, TargetPath};
+
+fn compile_opts() -> CompileOptions {
+    CompileOptions {
+        paths: TargetPath::HlsOnly,
+        time_passes: false,
+        ..Default::default()
+    }
+}
+
+/// Generate kernel (`seed`, `case`), compile it, and require bitwise
+/// agreement between the tree-walking oracle and (a) the bytecode tier,
+/// (b) the threaded engine's stage-plan execution. Panics with a
+/// point-level description on any divergence. Returns the number of
+/// compiled apply plans so callers can assert coverage.
+fn check_bytecode_bitwise(seed: u64, case: u64, data_seed: u64) -> usize {
+    let mut rng = Rng::new(seed).fork(case);
+    let kernel = generate(&mut rng, case, &GenOptions::default());
+    let compiled = compile_kernel(kernel.clone(), &compile_opts()).expect("compile");
+    let data = make_data(&kernel, data_seed);
+
+    let oracle = run_stencil(&compiled, &data).expect("tree-walker oracle");
+    let fast = run_stencil_bytecode(&compiled, &data).expect("bytecode tier");
+    assert_bitwise(seed, case, "bytecode", &oracle, &fast, &kernel.grid);
+
+    // One layer down: sequential Kahn engine (tree-walks stage bodies)
+    // vs the threaded engine (executes planned stages as bytecode).
+    let (kahn, _) = run_hls(&compiled, &data).expect("sequential engine");
+    let threaded = run_hls_threaded(&compiled, &data, Duration::from_secs(20))
+        .expect("threaded engine")
+        .unwrap_or_else(|report| panic!("seed {seed} case {case}: deadlock: {report}"));
+    assert_bitwise(seed, case, "threaded", &kahn, &threaded, &kernel.grid);
+
+    compiled.apply_plans.len()
+}
+
+fn assert_bitwise(
+    seed: u64,
+    case: u64,
+    engine: &str,
+    oracle: &std::collections::BTreeMap<String, shmls_ir::interp::Buffer>,
+    got: &std::collections::BTreeMap<String, shmls_ir::interp::Buffer>,
+    grid: &[i64],
+) {
+    let lb = vec![0i64; grid.len()];
+    for (name, expect) in oracle {
+        let out = got
+            .get(name)
+            .unwrap_or_else(|| panic!("output `{name}` missing from {engine} run"));
+        for p in iter_box(&lb, grid) {
+            let e = expect.load(&p).unwrap();
+            let g = out.load(&p).unwrap();
+            assert_eq!(
+                e.to_bits(),
+                g.to_bits(),
+                "seed {seed} case {case}: `{engine}` disagrees with oracle on \
+                 `{name}` at {p:?}: expected {e:e}, got {g:e}"
+            );
+        }
+    }
+}
+
+/// Deterministic sweep over the PR 3 generator. Every generated kernel
+/// must execute bitwise-identically on the bytecode tier, and every one
+/// must actually get compiled plans — a sweep where the tier silently
+/// fell back to the tree-walker would "pass" without testing anything.
+#[test]
+fn bytecode_matches_tree_walker_sweep() {
+    let mut planned = 0usize;
+    for case in 0u64..24 {
+        let n = check_bytecode_bitwise(11, case, case + 1);
+        assert!(n > 0, "case {case}: no apply compiled to bytecode");
+        planned += n;
+    }
+    assert!(planned >= 24, "suspiciously low plan coverage: {planned}");
+}
+
+/// Flip one opcode in a compiled plan and require the differential to
+/// notice. If this test ever passes with the mutation in place, the
+/// bitwise harness has lost its teeth.
+#[test]
+fn mutated_opcode_is_detected() {
+    let kernel = shmls_frontend::parse_kernel(&shmls_kernels::laplace::source_1d(24))
+        .expect("parse laplace");
+    let mut compiled = compile_kernel(kernel.clone(), &compile_opts()).expect("compile");
+    assert!(
+        !compiled.apply_plans.is_empty(),
+        "laplace must compile to bytecode for this test to mean anything"
+    );
+
+    let mutated = mutate_one_opcode(&mut compiled);
+    assert!(mutated, "no mutable instruction found in any plan");
+
+    let data = make_data(&kernel, 3);
+    let oracle = run_stencil(&compiled, &data).expect("oracle");
+    let fast = run_stencil_bytecode(&compiled, &data).expect("mutated bytecode");
+    let lb = vec![0i64; kernel.grid.len()];
+    let detected = oracle.iter().any(|(name, expect)| {
+        let out = &fast[name];
+        iter_box(&lb, &kernel.grid)
+            .into_iter()
+            .any(|p| expect.load(&p).unwrap().to_bits() != out.load(&p).unwrap().to_bits())
+    });
+    assert!(
+        detected,
+        "flipped opcode produced bitwise-identical output; the differential is blind"
+    );
+}
+
+/// Flip the first flippable opcode in the first plan that has one:
+/// `Add<->Sub`, `Mul<->Div`, `Max<->Min`, `Abs->Neg`. Returns whether a
+/// mutation was applied.
+fn mutate_one_opcode(compiled: &mut CompiledKernel) -> bool {
+    for plan in compiled.apply_plans.values_mut() {
+        let mut prog = (**plan).clone();
+        for instr in &mut prog.instrs {
+            let flipped = match instr {
+                Instr::Binary { op, .. } => {
+                    *op = match *op {
+                        BinOp::Add => BinOp::Sub,
+                        BinOp::Sub => BinOp::Add,
+                        BinOp::Mul => BinOp::Div,
+                        BinOp::Div => BinOp::Mul,
+                        BinOp::Max => BinOp::Min,
+                        BinOp::Min => BinOp::Max,
+                        BinOp::Pow => BinOp::Mul,
+                        BinOp::Copysign => BinOp::Add,
+                    };
+                    true
+                }
+                Instr::Unary { op, .. } => {
+                    *op = match *op {
+                        UnOp::Abs | UnOp::Sqrt | UnOp::Exp => UnOp::Neg,
+                        UnOp::Neg => UnOp::Abs,
+                    };
+                    true
+                }
+                _ => false,
+            };
+            if flipped {
+                *plan = Arc::new(prog);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bytecode_matches_tree_walker(
+        (seed, case, data_seed) in (any::<u64>(), 0u64..256, 1u64..1_000_000)
+    ) {
+        check_bytecode_bitwise(seed, case, data_seed);
+    }
+}

@@ -18,10 +18,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use shmls_frontend::{kernel_to_source, KernelDef};
 use shmls_ir::error::IrResult;
+use shmls_ir::ir_error;
 
 use crate::driver::{compile_kernel, CompileOptions, CompiledKernel};
 
@@ -81,11 +82,15 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit fraction in `[0, 1]`; `1.0` for an untouched cache.
+    /// Hit fraction in `[0, 1]`; `0.0` for an untouched cache. The
+    /// zero-lookup case must stay finite (and must not claim a perfect
+    /// hit rate): bench telemetry serialises this value, and a non-finite
+    /// number would serialise as `null` and silently drop the metric from
+    /// `repro compare`.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
-            1.0
+            0.0
         } else {
             self.hits as f64 / total as f64
         }
@@ -113,6 +118,20 @@ struct CacheInner {
     map: HashMap<u64, Arc<CompiledKernel>>,
     /// Keys in insertion order, for FIFO eviction.
     order: Vec<u64>,
+    /// Single-flight guards: keys whose compilation is in progress. A
+    /// thread that misses while a key is here waits on the slot instead
+    /// of compiling the same design a second time.
+    in_flight: HashMap<u64, Arc<Pending>>,
+}
+
+/// A single-flight slot: the leader publishes its outcome here and wakes
+/// every follower that blocked on the same key. Errors are carried as
+/// strings because [`shmls_ir::error::IrError`] is not `Clone` and each
+/// follower needs its own copy.
+#[derive(Debug, Default)]
+struct Pending {
+    done: Mutex<Option<Result<Arc<CompiledKernel>, String>>>,
+    cv: Condvar,
 }
 
 /// Default capacity of [`CompileCache::new`] (also the global cache's).
@@ -169,10 +188,21 @@ impl CompileCache {
     /// every holder shares one design.
     pub fn insert(&self, key: u64, compiled: Arc<CompiledKernel>) -> Arc<CompiledKernel> {
         let mut inner = self.inner.lock().expect("cache poisoned");
+        Self::insert_locked(&mut inner, self.capacity, key, compiled)
+    }
+
+    /// Insertion body, factored out so the single-flight leader can
+    /// publish its design and retire its guard under one lock.
+    fn insert_locked(
+        inner: &mut CacheInner,
+        capacity: usize,
+        key: u64,
+        compiled: Arc<CompiledKernel>,
+    ) -> Arc<CompiledKernel> {
         if let Some(existing) = inner.map.get(&key) {
             return Arc::clone(existing);
         }
-        while inner.order.len() >= self.capacity {
+        while inner.order.len() >= capacity {
             let oldest = inner.order.remove(0);
             inner.map.remove(&oldest);
         }
@@ -184,20 +214,79 @@ impl CompileCache {
     /// Fetch the design for `kernel` under `opts`, compiling on a miss.
     /// Returns the design and whether it was a cache hit. The lock is
     /// never held during compilation, so concurrent misses on *different*
-    /// kernels compile in parallel; concurrent misses on the *same*
-    /// kernel deduplicate at insertion (compilation is deterministic, so
-    /// either result is the result).
+    /// kernels compile in parallel; concurrent requests for the *same*
+    /// key are single-flighted — the first becomes the leader and
+    /// compiles (the one miss), everyone else blocks on the in-flight
+    /// slot and receives the leader's design (a hit each). Before the
+    /// guard, N racing threads would each run the full pass pipeline and
+    /// dedup only at insertion, wasting N−1 compilations.
     pub fn get_or_compile(
         &self,
         kernel: &KernelDef,
         opts: &CompileOptions,
     ) -> IrResult<(Arc<CompiledKernel>, bool)> {
         let key = Self::key(kernel, opts);
-        if let Some(hit) = self.lookup(key) {
-            return Ok((hit, true));
+        enum Role {
+            Leader(Arc<Pending>),
+            Follower(Arc<Pending>),
         }
-        let compiled = Arc::new(compile_kernel(kernel.clone(), opts)?);
-        Ok((self.insert(key, compiled), false))
+        let role = {
+            let mut inner = self.inner.lock().expect("cache poisoned");
+            if let Some(hit) = inner.map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::clone(hit), true));
+            }
+            match inner.in_flight.get(&key) {
+                Some(slot) => Role::Follower(Arc::clone(slot)),
+                None => {
+                    let slot = Arc::new(Pending::default());
+                    inner.in_flight.insert(key, Arc::clone(&slot));
+                    Role::Leader(slot)
+                }
+            }
+        };
+        match role {
+            Role::Leader(slot) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let outcome = compile_kernel(kernel.clone(), opts).map(Arc::new);
+                let result = match outcome {
+                    Ok(compiled) => {
+                        // Publish to the map and retire the guard in one
+                        // critical section, so a thread that finds the
+                        // guard gone is guaranteed to find the entry.
+                        let mut inner = self.inner.lock().expect("cache poisoned");
+                        inner.in_flight.remove(&key);
+                        let shared = Self::insert_locked(&mut inner, self.capacity, key, compiled);
+                        Ok(shared)
+                    }
+                    Err(e) => {
+                        let mut inner = self.inner.lock().expect("cache poisoned");
+                        inner.in_flight.remove(&key);
+                        Err(e)
+                    }
+                };
+                let for_followers = match &result {
+                    Ok(c) => Ok(Arc::clone(c)),
+                    Err(e) => Err(e.to_string()),
+                };
+                *slot.done.lock().expect("pending slot poisoned") = Some(for_followers);
+                slot.cv.notify_all();
+                result.map(|c| (c, false))
+            }
+            Role::Follower(slot) => {
+                let mut done = slot.done.lock().expect("pending slot poisoned");
+                while done.is_none() {
+                    done = slot.cv.wait(done).expect("pending slot poisoned");
+                }
+                match done.as_ref().expect("checked above") {
+                    Ok(compiled) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        Ok((Arc::clone(compiled), true))
+                    }
+                    Err(msg) => Err(ir_error!("single-flight leader failed: {msg}")),
+                }
+            }
+        }
     }
 
     /// Traffic and occupancy counters.
@@ -330,6 +419,53 @@ mod tests {
         assert!(hit8);
         let (_, hit5) = cache.get_or_compile(&kernel(5), &opts()).unwrap();
         assert!(!hit5);
+    }
+
+    #[test]
+    fn untouched_cache_reports_zero_hit_rate() {
+        // Regression: this used to return 1.0 before any lookup, which
+        // made an idle cache read as "perfect" in telemetry.
+        let stats = CacheStats {
+            hits: 0,
+            misses: 0,
+            entries: 0,
+        };
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert!(stats.hit_rate().is_finite());
+        assert_eq!(CompileCache::new().stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_compile_once() {
+        const THREADS: usize = 8;
+        let cache = Arc::new(CompileCache::new());
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let workers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_compile(&kernel(11), &opts()).unwrap()
+                })
+            })
+            .collect();
+        let results: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+        // Exactly one thread compiled (the single miss); every other
+        // request was served by the in-flight guard or the map.
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "single-flight must compile exactly once");
+        assert_eq!(s.hits, THREADS as u64 - 1);
+        assert_eq!(s.entries, 1);
+        assert_eq!(results.iter().filter(|(_, hit)| !hit).count(), 1);
+        let first = &results[0].0;
+        for (design, _) in &results {
+            assert!(
+                Arc::ptr_eq(first, design),
+                "all threads must share one compiled design"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! End-to-end compilation driver: DSL text → stencil IR → {HLS dataflow,
 //! CPU loops, annotated LLVM} — the whole Figure-1 flow in one call.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use shmls_dialects::builtin::create_module;
 use shmls_frontend::{lower_kernel, parse_kernel, KernelDef, KernelSignature};
 use shmls_ir::error::IrResult;
@@ -88,8 +91,8 @@ pub struct CompiledKernel {
     pub directives: Option<DirectiveReport>,
     /// Per-pass wall-clock timings (`parse`, `frontend-lower`,
     /// `canonicalize`, `split`, `stencil-to-hls`, `connectivity`,
-    /// `cpu-lowering`, `llvm-lowering`, `fpp`, `verify`, `total`), in
-    /// execution order. Empty when
+    /// `cpu-lowering`, `llvm-lowering`, `fpp`, `bytecode`, `verify`,
+    /// `total`), in execution order. Empty when
     /// [`CompileOptions::time_passes`] is off or `shmls-ir` was built
     /// without its `timing` feature.
     pub timings: Timings,
@@ -98,6 +101,14 @@ pub struct CompiledKernel {
     /// `optimize` (after canonicalize+split), `stencil-to-hls`, and the
     /// requested lowerings. Empty otherwise.
     pub snapshots: Vec<(String, String)>,
+    /// Bytecode programs for every `stencil.apply` in the stencil-dialect
+    /// function whose body fits the straight-line vocabulary (see
+    /// `shmls_ir::bytecode`), keyed by apply op. Installed on a
+    /// [`Machine`](shmls_ir::interp::Machine) these replace the per-point
+    /// tree walk with a flat register program — bitwise-identical, just
+    /// fast. Applies that fail to compile are simply absent (the
+    /// tree-walker remains the universal fallback).
+    pub apply_plans: HashMap<OpId, Arc<shmls_ir::bytecode::Program>>,
 }
 
 impl CompiledKernel {
@@ -257,6 +268,13 @@ fn compile_kernel_timed(
         (None, None)
     };
 
+    // Bytecode tier: compile each apply body once into a flat register
+    // program. Best-effort per apply — an unsupported body just keeps the
+    // tree-walking path.
+    stopwatch = Stopwatch::start();
+    let apply_plans = compile_apply_plans(&ctx, lowered.func);
+    stopwatch.lap(&mut timings, "bytecode");
+
     // Summary row last; `Timings::total()` skips it when re-summing, so
     // the reported end-to-end time is not doubled. No-op when the
     // collector is off.
@@ -276,7 +294,24 @@ fn compile_kernel_timed(
         directives,
         timings,
         snapshots,
+        apply_plans,
     })
+}
+
+/// Compile a bytecode [`Program`](shmls_ir::bytecode::Program) for every
+/// `stencil.apply` under `func` whose body supports it.
+pub fn compile_apply_plans(
+    ctx: &Context,
+    func: OpId,
+) -> HashMap<OpId, Arc<shmls_ir::bytecode::Program>> {
+    ctx.find_ops(func, "stencil.apply")
+        .into_iter()
+        .filter_map(|apply| {
+            shmls_ir::bytecode::compile_apply(ctx, apply)
+                .ok()
+                .map(|p| (apply, Arc::new(p)))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -318,6 +353,20 @@ kernel demo {
     }
 
     #[test]
+    fn every_apply_gets_a_bytecode_plan() {
+        let compiled = compile(SRC, &CompileOptions::default()).unwrap();
+        let applies = compiled
+            .ctx
+            .find_ops(compiled.stencil_func, "stencil.apply");
+        assert!(!applies.is_empty());
+        assert_eq!(compiled.apply_plans.len(), applies.len());
+        for apply in applies {
+            let plan = &compiled.apply_plans[&apply];
+            assert!(!plan.instrs.is_empty() || !plan.inputs.is_empty());
+        }
+    }
+
+    #[test]
     fn parse_errors_propagate() {
         let e = compile("kernel broken {", &CompileOptions::default()).unwrap_err();
         assert!(!e.to_string().is_empty());
@@ -340,6 +389,7 @@ kernel demo {
             "cpu-lowering",
             "llvm-lowering",
             "fpp",
+            "bytecode",
             "verify",
             "total",
         ] {

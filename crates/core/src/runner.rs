@@ -120,6 +120,24 @@ pub fn run_stencil(
     collect_outputs(compiled, &machine.store, &handles)
 }
 
+/// Run the stencil-dialect function through the bytecode tier: each
+/// `stencil.apply` with a compiled plan executes as a flat register
+/// program instead of a per-point tree walk. Everything outside the
+/// applies (loads, stores, calls) still interprets normally, and applies
+/// without a plan fall back to the tree-walker — so this always produces
+/// results bitwise-identical to [`run_stencil`], just faster.
+pub fn run_stencil_bytecode(
+    compiled: &CompiledKernel,
+    data: &KernelData,
+) -> IrResult<BTreeMap<String, Buffer>> {
+    let mut no = NoExtern;
+    let mut machine = Machine::new(&compiled.ctx, compiled.module, &mut no);
+    machine.apply_plans = compiled.apply_plans.clone();
+    let (args, handles) = bind_args(compiled, data, &mut machine.store)?;
+    machine.call(&compiled.kernel.name, &args)?;
+    collect_outputs(compiled, &machine.store, &handles)
+}
+
 /// Run the CPU (Von-Neumann loop nest) lowering.
 pub fn run_cpu(compiled: &CompiledKernel, data: &KernelData) -> IrResult<BTreeMap<String, Buffer>> {
     if compiled.cpu_func.is_none() {

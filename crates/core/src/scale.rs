@@ -159,11 +159,14 @@ pub struct MultiCuReport {
 }
 
 impl MultiCuReport {
-    /// Cache hit fraction for this run's design lookups.
+    /// Cache hit fraction for this run's design lookups; `0.0` when the
+    /// run performed no lookups (same convention as
+    /// [`crate::cache::CacheStats::hit_rate`] — an idle cache must not
+    /// read as a perfect one).
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
         if total == 0 {
-            1.0
+            0.0
         } else {
             self.cache_hits as f64 / total as f64
         }

@@ -14,6 +14,10 @@
 //!   (sequential Kahn engine + the paper's linked runtime functions).
 //! - [`threaded`] — true concurrent execution with bounded FIFOs and
 //!   deadlock detection (one thread per dataflow stage).
+//! - [`stageplan`] — bytecode compilation of dataflow stage bodies, so
+//!   the threaded engine executes compute/dup stages as flat register
+//!   programs instead of re-entering the tree-walking interpreter per
+//!   element (the interpreter stays the oracle and the fallback).
 //! - [`cycle`] — cycle-stepped token-level Kahn simulation used to
 //!   validate the analytic model against FIFO dynamics.
 //! - [`design`] — extraction of a [`design::DesignDescriptor`] from
@@ -36,5 +40,6 @@ pub mod memory;
 pub mod perf;
 pub mod power;
 pub mod resources;
+pub mod stageplan;
 pub mod stream;
 pub mod threaded;

@@ -253,9 +253,17 @@ pub fn execute_threaded(
         Failed(IrError),
     }
 
+    // Bytecode tier: stages matching the generated compute/dup shape run
+    // as flat register programs; everything else (runtime-call stages,
+    // unplanned shapes) keeps the tree-walking interpreter.
+    let plans: Vec<Option<crate::stageplan::StagePlan>> = stages
+        .iter()
+        .map(|&s| crate::stageplan::plan_stage(ctx, s))
+        .collect();
+
     let results: Vec<StageResult> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for &stage in &stages {
+        for (&stage, plan) in stages.iter().zip(plans) {
             let env = env.clone();
             let store = init_store.clone();
             let table = Arc::clone(&table);
@@ -267,17 +275,23 @@ pub fn execute_threaded(
                     },
                     mem_beats: 0,
                 };
-                let mut m = Machine::new(ctx, module, &mut ext);
-                m.env = env;
-                m.store = store;
-                let Some(body) = ctx.entry_block(stage) else {
-                    return StageResult::Failed(ir_error!("dataflow stage without body"));
+                let (run, store, beats) = if let Some(plan) = plan {
+                    let run = crate::stageplan::run_stage_plan(&plan, &env, &store, &mut ext.io);
+                    (run, store, 0)
+                } else {
+                    let mut m = Machine::new(ctx, module, &mut ext);
+                    m.env = env;
+                    m.store = store;
+                    let Some(body) = ctx.entry_block(stage) else {
+                        return StageResult::Failed(ir_error!("dataflow stage without body"));
+                    };
+                    let run = m.run_block(body).map(|_| ());
+                    let store = std::mem::take(&mut m.store);
+                    drop(m);
+                    (run, store, ext.mem_beats)
                 };
-                let run = m.run_block(body);
-                let store = std::mem::take(&mut m.store);
-                drop(m);
                 match run {
-                    Ok(_) => StageResult::Done(store, ext.mem_beats),
+                    Ok(()) => StageResult::Done(store, beats),
                     Err(e) => match ext.io.last_stall {
                         Some(status) if e.to_string().contains(STALL_PREFIX) => {
                             StageResult::Stalled(status)

@@ -1,0 +1,1040 @@
+//! Bytecode compilation tier for `stencil.apply` bodies.
+//!
+//! The tree-walking [`Machine`](crate::interp::Machine) re-traverses the
+//! apply region once per grid point: every op pays a `HashMap` lookup per
+//! operand, a `HashMap` insert per result and an allocation for its operand
+//! vector. This module compiles the region *once* into a flat,
+//! register-based program that the inner loop then executes with nothing
+//! but slice indexing — the classic split-compilation move (compile the
+//! per-point compute once, run it millions of times).
+//!
+//! ## The ISA
+//!
+//! A [`Program`] is three tables:
+//!
+//! * `inputs` — how to fill the low registers before each point: a stencil
+//!   access (buffer + constant offset), a small-data parameter load
+//!   (`param[index[dim] + shift]`), a scalar operand, or — for the FPGA
+//!   simulator's stage plans — an element of a window pack / a scalar
+//!   stream read. Input `i` always lands in register `i`.
+//! * `instrs` — straight-line register code: `Const`, `Unary`, `Binary`,
+//!   `Fma`. There is no control flow; anything that needs it fails to
+//!   compile and falls back to the tree-walker.
+//! * `results` — which registers hold the values a `stencil.return` /
+//!   `hls.write` would yield.
+//!
+//! ## Bitwise contract
+//!
+//! Every opcode is implemented by *the same Rust expression* the
+//! tree-walker uses (`+`, `f64::max`, `f64::mul_add`, …), so a compiled
+//! program is bitwise-identical to interpretation — including NaN
+//! propagation and signed zeros. The conformance suite enforces this with
+//! differential fuzzing; the interpreter stays the oracle.
+//!
+//! ## Register allocation
+//!
+//! [`ProgramBuilder`] emits SSA-ish virtual registers and assigns physical
+//! registers in [`ProgramBuilder::finish`] with a last-use free list:
+//! inputs are pinned to registers `0..n_inputs`, every other register is
+//! recycled the moment its value dies. Kernels with dozens of ops
+//! typically fit in a handful of registers.
+
+use std::collections::HashMap;
+
+use crate::attributes::Attribute;
+use crate::error::IrResult;
+use crate::interp::{Buffer, RtValue, Store};
+use crate::ir::{Context, OpId, ValueId};
+use crate::types::Type;
+use crate::{ir_bail, ir_ensure, ir_error};
+
+/// A physical register index.
+pub type Reg = u16;
+
+/// Unary float opcodes (semantics: the identical `f64` method the
+/// tree-walker calls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-x` (`arith.negf`).
+    Neg,
+    /// `x.abs()` (`math.absf`).
+    Abs,
+    /// `x.sqrt()` (`math.sqrt`).
+    Sqrt,
+    /// `x.exp()` (`math.exp`).
+    Exp,
+}
+
+/// Binary float opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `a + b` (`arith.addf`).
+    Add,
+    /// `a - b` (`arith.subf`).
+    Sub,
+    /// `a * b` (`arith.mulf`).
+    Mul,
+    /// `a / b` (`arith.divf`).
+    Div,
+    /// `a.max(b)` (`arith.maximumf`).
+    Max,
+    /// `a.min(b)` (`arith.minimumf`).
+    Min,
+    /// `a.powf(b)` (`math.powf`).
+    Pow,
+    /// `a.copysign(b)` (`math.copysign`).
+    Copysign,
+}
+
+/// One straight-line instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// `regs[dst] = value`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: f64,
+    },
+    /// `regs[dst] = op(regs[src])`.
+    Unary {
+        /// Opcode.
+        op: UnOp,
+        /// Destination register.
+        dst: Reg,
+        /// Operand register.
+        src: Reg,
+    },
+    /// `regs[dst] = op(regs[lhs], regs[rhs])`.
+    Binary {
+        /// Opcode.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+    },
+    /// `regs[dst] = regs[a].mul_add(regs[b], regs[c])` (`math.fma`).
+    Fma {
+        /// Destination register.
+        dst: Reg,
+        /// Multiplicand register.
+        a: Reg,
+        /// Multiplier register.
+        b: Reg,
+        /// Addend register.
+        c: Reg,
+    },
+}
+
+/// How the host fills one input register before each evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputRef {
+    /// `buffer(args[operand]).load(point + offset)` — a `stencil.access`.
+    Access {
+        /// Apply-operand index of the field/temp buffer.
+        operand: u16,
+        /// Constant neighbour offset (one entry per dimension).
+        offset: Vec<i64>,
+    },
+    /// `buffer(args[operand]).load([point[dim] + shift])` — the frontend's
+    /// small-data parameter pattern (`stencil.index` + constant shift +
+    /// `memref.load`).
+    ParamLoad {
+        /// Apply-operand index of the 1-D parameter memref.
+        operand: u16,
+        /// Grid axis whose index selects the element.
+        dim: u8,
+        /// Constant shift added to the axis index (offset + halo).
+        shift: i64,
+    },
+    /// `args[operand]` itself, a scalar `f64` operand (a kernel constant).
+    Scalar {
+        /// Apply-operand index of the scalar.
+        operand: u16,
+    },
+    /// Element `elem` of the `read`-th stream pop (a shift-buffer window
+    /// pack). Used by the FPGA simulator's compute-stage plans.
+    PackElem {
+        /// Index into the plan's per-point read list.
+        read: u16,
+        /// Flat window position (`llvm.extractvalue` position).
+        elem: u32,
+    },
+    /// The `read`-th stream pop as a scalar (a producer stream element).
+    ReadScalar {
+        /// Index into the plan's per-point read list.
+        read: u16,
+    },
+}
+
+/// A compiled, allocation-free register program.
+///
+/// Fields are public deliberately: the conformance suite's fault-injection
+/// self-test mutates an opcode and asserts the differential harness
+/// notices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Input loads; input `i` is placed in register `i` by the host.
+    pub inputs: Vec<InputRef>,
+    /// Straight-line code, executed in order.
+    pub instrs: Vec<Instr>,
+    /// Number of registers the evaluator must provide.
+    pub n_regs: u16,
+    /// Registers holding the yielded values, in `stencil.return` order.
+    pub results: Vec<Reg>,
+}
+
+impl Program {
+    /// Execute the straight-line code over a register file of at least
+    /// [`Program::n_regs`] slots. Inputs must already sit in registers
+    /// `0..inputs.len()`; results are left in [`Program::results`].
+    #[inline]
+    pub fn run(&self, regs: &mut [f64]) {
+        for instr in &self.instrs {
+            match *instr {
+                Instr::Const { dst, value } => regs[dst as usize] = value,
+                Instr::Unary { op, dst, src } => {
+                    let v = regs[src as usize];
+                    regs[dst as usize] = match op {
+                        UnOp::Neg => -v,
+                        UnOp::Abs => v.abs(),
+                        UnOp::Sqrt => v.sqrt(),
+                        UnOp::Exp => v.exp(),
+                    };
+                }
+                Instr::Binary { op, dst, lhs, rhs } => {
+                    let a = regs[lhs as usize];
+                    let b = regs[rhs as usize];
+                    regs[dst as usize] = match op {
+                        BinOp::Add => a + b,
+                        BinOp::Sub => a - b,
+                        BinOp::Mul => a * b,
+                        BinOp::Div => a / b,
+                        BinOp::Max => a.max(b),
+                        BinOp::Min => a.min(b),
+                        BinOp::Pow => a.powf(b),
+                        BinOp::Copysign => a.copysign(b),
+                    };
+                }
+                Instr::Fma { dst, a, b, c } => {
+                    regs[dst as usize] =
+                        regs[a as usize].mul_add(regs[b as usize], regs[c as usize]);
+                }
+            }
+        }
+    }
+}
+
+// ---- builder -------------------------------------------------------------
+
+/// A virtual register handed out by [`ProgramBuilder`]; resolved to a
+/// physical register at [`ProgramBuilder::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VReg(Slot);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Slot {
+    Input(u32),
+    Temp(u32),
+}
+
+/// Builder over virtual registers; physical allocation happens in
+/// [`ProgramBuilder::finish`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    inputs: Vec<InputRef>,
+    code: Vec<VInstr>,
+}
+
+#[derive(Debug)]
+enum VInstr {
+    Const { value: f64 },
+    Unary { op: UnOp, src: VReg },
+    Binary { op: BinOp, lhs: VReg, rhs: VReg },
+    Fma { a: VReg, b: VReg, c: VReg },
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare (or reuse) an input; identical inputs share a register.
+    pub fn input(&mut self, input: InputRef) -> VReg {
+        if let Some(i) = self.inputs.iter().position(|x| *x == input) {
+            return VReg(Slot::Input(i as u32));
+        }
+        self.inputs.push(input);
+        VReg(Slot::Input((self.inputs.len() - 1) as u32))
+    }
+
+    fn push(&mut self, instr: VInstr) -> VReg {
+        self.code.push(instr);
+        VReg(Slot::Temp((self.code.len() - 1) as u32))
+    }
+
+    /// Emit an immediate.
+    pub fn constant(&mut self, value: f64) -> VReg {
+        self.push(VInstr::Const { value })
+    }
+
+    /// Emit a unary op.
+    pub fn unary(&mut self, op: UnOp, src: VReg) -> VReg {
+        self.push(VInstr::Unary { op, src })
+    }
+
+    /// Emit a binary op.
+    pub fn binary(&mut self, op: BinOp, lhs: VReg, rhs: VReg) -> VReg {
+        self.push(VInstr::Binary { op, lhs, rhs })
+    }
+
+    /// Emit a fused multiply-add.
+    pub fn fma(&mut self, a: VReg, b: VReg, c: VReg) -> VReg {
+        self.push(VInstr::Fma { a, b, c })
+    }
+
+    /// Allocate physical registers (inputs pinned to `0..n_inputs`, temps
+    /// via a last-use free list) and produce the runnable program.
+    pub fn finish(self, results: &[VReg]) -> IrResult<Program> {
+        let n_in = self.inputs.len();
+        let n_temp = self.code.len();
+        let id = |v: VReg| match v.0 {
+            Slot::Input(i) => i as usize,
+            Slot::Temp(j) => n_in + j as usize,
+        };
+
+        // Last instruction index using each value (results count as one
+        // past the end, so they are never recycled).
+        let mut last_use: Vec<Option<usize>> = vec![None; n_in + n_temp];
+        {
+            let mut touch = |v: VReg, at: usize| {
+                let slot = &mut last_use[id(v)];
+                *slot = Some(slot.map_or(at, |p| p.max(at)));
+            };
+            for (j, instr) in self.code.iter().enumerate() {
+                match *instr {
+                    VInstr::Const { .. } => {}
+                    VInstr::Unary { src, .. } => touch(src, j),
+                    VInstr::Binary { lhs, rhs, .. } => {
+                        touch(lhs, j);
+                        touch(rhs, j);
+                    }
+                    VInstr::Fma { a, b, c } => {
+                        touch(a, j);
+                        touch(b, j);
+                        touch(c, j);
+                    }
+                }
+            }
+            for &r in results {
+                touch(r, n_temp);
+            }
+        }
+        // A dead temp dies at its own definition.
+        for j in 0..n_temp {
+            let slot = &mut last_use[n_in + j];
+            if slot.is_none() {
+                *slot = Some(j);
+            }
+        }
+
+        // Inputs are never recycled: executors are allowed to fill
+        // loop-invariant inputs (scalars) once and run the program many
+        // times, so an input register must still hold its value after
+        // every run. Only temps expire.
+        let mut expire: Vec<Vec<usize>> = vec![Vec::new(); n_temp];
+        for (v, lu) in last_use.iter().enumerate().skip(n_in) {
+            if let Some(at) = *lu {
+                if at < n_temp {
+                    expire[at].push(v);
+                }
+            }
+        }
+
+        const NONE: Reg = Reg::MAX;
+        let mut phys: Vec<Reg> = vec![NONE; n_in + n_temp];
+        for (i, p) in phys.iter_mut().enumerate().take(n_in) {
+            *p = Reg::try_from(i).map_err(|_| ir_error!("bytecode: too many inputs"))?;
+        }
+        let mut next: usize = n_in;
+        let mut free: Vec<Reg> = Vec::new();
+        let mut instrs = Vec::with_capacity(n_temp);
+        let reg_of = |phys: &[Reg], v: VReg| -> IrResult<Reg> {
+            let r = phys[id(v)];
+            ir_ensure!(r != NONE, "bytecode: use of undefined virtual register");
+            Ok(r)
+        };
+        for (j, instr) in self.code.iter().enumerate() {
+            // Operands are read before the destination is allocated, and
+            // operand registers are only recycled after this instruction,
+            // so a destination never aliases its own operands.
+            let emitted = match *instr {
+                VInstr::Const { value } => Instr::Const { dst: NONE, value },
+                VInstr::Unary { op, src } => Instr::Unary {
+                    op,
+                    dst: NONE,
+                    src: reg_of(&phys, src)?,
+                },
+                VInstr::Binary { op, lhs, rhs } => Instr::Binary {
+                    op,
+                    dst: NONE,
+                    lhs: reg_of(&phys, lhs)?,
+                    rhs: reg_of(&phys, rhs)?,
+                },
+                VInstr::Fma { a, b, c } => Instr::Fma {
+                    dst: NONE,
+                    a: reg_of(&phys, a)?,
+                    b: reg_of(&phys, b)?,
+                    c: reg_of(&phys, c)?,
+                },
+            };
+            let dst = match free.pop() {
+                Some(r) => r,
+                None => {
+                    let r = Reg::try_from(next)
+                        .map_err(|_| ir_error!("bytecode: register file overflow"))?;
+                    next += 1;
+                    r
+                }
+            };
+            phys[n_in + j] = dst;
+            instrs.push(match emitted {
+                Instr::Const { value, .. } => Instr::Const { dst, value },
+                Instr::Unary { op, src, .. } => Instr::Unary { op, dst, src },
+                Instr::Binary { op, lhs, rhs, .. } => Instr::Binary { op, dst, lhs, rhs },
+                Instr::Fma { a, b, c, .. } => Instr::Fma { dst, a, b, c },
+            });
+            for &v in &expire[j] {
+                if phys[v] != NONE {
+                    free.push(phys[v]);
+                }
+            }
+        }
+        let results = results
+            .iter()
+            .map(|&r| reg_of(&phys, r))
+            .collect::<IrResult<Vec<_>>>()?;
+        Ok(Program {
+            inputs: self.inputs,
+            instrs,
+            n_regs: Reg::try_from(next.max(n_in))
+                .map_err(|_| ir_error!("bytecode: register file overflow"))?,
+            results,
+        })
+    }
+}
+
+// ---- compiling a stencil.apply ------------------------------------------
+
+/// Integer shapes the compiler tracks symbolically (only what the
+/// frontend's parameter pattern needs).
+#[derive(Debug, Clone, Copy)]
+enum IntExpr {
+    Const(i64),
+    Index(usize),
+    IndexPlus(usize, i64),
+}
+
+/// Compile the body of a `stencil.apply` into a [`Program`].
+///
+/// Fails (so the caller falls back to the tree-walker) on any op outside
+/// the supported straight-line `f64` vocabulary, on integer arithmetic
+/// that is not the frontend's `param[index[dim] + shift]` pattern, and on
+/// applies whose results do not share identical bounds (the fast path
+/// writes results by linear element index).
+pub fn compile_apply(ctx: &Context, apply: OpId) -> IrResult<Program> {
+    ir_ensure!(
+        ctx.op_name(apply) == "stencil.apply",
+        "compile_apply expects a stencil.apply, got `{}`",
+        ctx.op_name(apply)
+    );
+    let results = ctx.results(apply);
+    ir_ensure!(!results.is_empty(), "stencil.apply without results");
+    let bounds = ctx
+        .value_type(results[0])
+        .stencil_bounds()
+        .ok_or_else(|| ir_error!("stencil.apply result is not a stencil.temp"))?
+        .clone();
+    for &r in results {
+        let b = ctx
+            .value_type(r)
+            .stencil_bounds()
+            .ok_or_else(|| ir_error!("stencil.apply result is not a stencil.temp"))?;
+        ir_ensure!(
+            *b == bounds,
+            "bytecode: apply results with differing bounds"
+        );
+    }
+    let rank = bounds.rank();
+    ir_ensure!(rank > 0, "bytecode: rank-0 apply unsupported");
+
+    let block = ctx
+        .entry_block(apply)
+        .ok_or_else(|| ir_error!("stencil.apply without body"))?;
+    let params = ctx.block_args(block).to_vec();
+    let param_pos: HashMap<ValueId, usize> =
+        params.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+
+    let mut b = ProgramBuilder::new();
+    let mut floats: HashMap<ValueId, VReg> = HashMap::new();
+    let mut ints: HashMap<ValueId, IntExpr> = HashMap::new();
+
+    // Resolve an SSA value to a float register: a computed value, or a
+    // scalar block argument (kernel constant) promoted to an input.
+    fn float_of(
+        ctx: &Context,
+        b: &mut ProgramBuilder,
+        floats: &mut HashMap<ValueId, VReg>,
+        param_pos: &HashMap<ValueId, usize>,
+        v: ValueId,
+    ) -> IrResult<VReg> {
+        if let Some(&r) = floats.get(&v) {
+            return Ok(r);
+        }
+        if let Some(&pos) = param_pos.get(&v) {
+            if matches!(ctx.value_type(v), Type::F64) {
+                let r = b.input(InputRef::Scalar {
+                    operand: u16::try_from(pos)
+                        .map_err(|_| ir_error!("bytecode: operand index overflow"))?,
+                });
+                floats.insert(v, r);
+                return Ok(r);
+            }
+        }
+        Err(ir_error!("bytecode: value is not a float register"))
+    }
+
+    for &op in ctx.block_ops(block) {
+        let name = ctx.op_name(op);
+        let operands = ctx.operands(op).to_vec();
+        match name {
+            "arith.constant" => {
+                let attr = ctx
+                    .attr(op, "value")
+                    .ok_or_else(|| ir_error!("arith.constant without value"))?;
+                match attr {
+                    Attribute::Float(v, _) => {
+                        let r = b.constant(*v);
+                        floats.insert(ctx.result(op, 0), r);
+                    }
+                    Attribute::Int(v, _) => {
+                        ints.insert(ctx.result(op, 0), IntExpr::Const(*v));
+                    }
+                    other => ir_bail!("bytecode: unsupported constant {other}"),
+                }
+            }
+            "stencil.index" => {
+                let dim = ctx
+                    .attr(op, "dim")
+                    .and_then(Attribute::as_int)
+                    .ok_or_else(|| ir_error!("stencil.index without dim"))? as usize;
+                ir_ensure!(dim < rank, "stencil.index dim {dim} out of range");
+                ints.insert(ctx.result(op, 0), IntExpr::Index(dim));
+            }
+            "arith.addi" => {
+                let a = *ints
+                    .get(&operands[0])
+                    .ok_or_else(|| ir_error!("bytecode: non-symbolic integer operand"))?;
+                let c = *ints
+                    .get(&operands[1])
+                    .ok_or_else(|| ir_error!("bytecode: non-symbolic integer operand"))?;
+                let sum = match (a, c) {
+                    (IntExpr::Const(x), IntExpr::Const(y)) => IntExpr::Const(x.wrapping_add(y)),
+                    (IntExpr::Index(d), IntExpr::Const(s))
+                    | (IntExpr::Const(s), IntExpr::Index(d)) => IntExpr::IndexPlus(d, s),
+                    (IntExpr::IndexPlus(d, s), IntExpr::Const(t))
+                    | (IntExpr::Const(t), IntExpr::IndexPlus(d, s)) => {
+                        IntExpr::IndexPlus(d, s.wrapping_add(t))
+                    }
+                    _ => ir_bail!("bytecode: unsupported integer addition shape"),
+                };
+                ints.insert(ctx.result(op, 0), sum);
+            }
+            "memref.load" => {
+                let &pos = param_pos
+                    .get(&operands[0])
+                    .ok_or_else(|| ir_error!("bytecode: load from non-operand memref"))?;
+                ir_ensure!(
+                    operands.len() == 2,
+                    "bytecode: only 1-D parameter loads supported"
+                );
+                let (dim, shift) = match ints
+                    .get(&operands[1])
+                    .ok_or_else(|| ir_error!("bytecode: non-symbolic load index"))?
+                {
+                    IntExpr::Index(d) => (*d, 0),
+                    IntExpr::IndexPlus(d, s) => (*d, *s),
+                    IntExpr::Const(_) => ir_bail!("bytecode: constant-index load unsupported"),
+                };
+                let r = b.input(InputRef::ParamLoad {
+                    operand: u16::try_from(pos)
+                        .map_err(|_| ir_error!("bytecode: operand index overflow"))?,
+                    dim: u8::try_from(dim).map_err(|_| ir_error!("bytecode: dim overflow"))?,
+                    shift,
+                });
+                floats.insert(ctx.result(op, 0), r);
+            }
+            "stencil.access" => {
+                let &pos = param_pos
+                    .get(&operands[0])
+                    .ok_or_else(|| ir_error!("bytecode: access to non-operand temp"))?;
+                let offset = ctx
+                    .attr(op, "offset")
+                    .and_then(Attribute::as_index_array)
+                    .ok_or_else(|| ir_error!("stencil.access without offset"))?
+                    .to_vec();
+                ir_ensure!(
+                    offset.len() == rank,
+                    "stencil.access offset rank mismatch"
+                );
+                let r = b.input(InputRef::Access {
+                    operand: u16::try_from(pos)
+                        .map_err(|_| ir_error!("bytecode: operand index overflow"))?,
+                    offset,
+                });
+                floats.insert(ctx.result(op, 0), r);
+            }
+            "arith.negf" | "math.absf" | "math.sqrt" | "math.exp" => {
+                let src = float_of(ctx, &mut b, &mut floats, &param_pos, operands[0])?;
+                let op_code = match name {
+                    "arith.negf" => UnOp::Neg,
+                    "math.absf" => UnOp::Abs,
+                    "math.sqrt" => UnOp::Sqrt,
+                    _ => UnOp::Exp,
+                };
+                let r = b.unary(op_code, src);
+                floats.insert(ctx.result(op, 0), r);
+            }
+            "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.maximumf"
+            | "arith.minimumf" | "math.powf" | "math.copysign" => {
+                let lhs = float_of(ctx, &mut b, &mut floats, &param_pos, operands[0])?;
+                let rhs = float_of(ctx, &mut b, &mut floats, &param_pos, operands[1])?;
+                let op_code = match name {
+                    "arith.addf" => BinOp::Add,
+                    "arith.subf" => BinOp::Sub,
+                    "arith.mulf" => BinOp::Mul,
+                    "arith.divf" => BinOp::Div,
+                    "arith.maximumf" => BinOp::Max,
+                    "arith.minimumf" => BinOp::Min,
+                    "math.powf" => BinOp::Pow,
+                    _ => BinOp::Copysign,
+                };
+                let r = b.binary(op_code, lhs, rhs);
+                floats.insert(ctx.result(op, 0), r);
+            }
+            "math.fma" => {
+                let a = float_of(ctx, &mut b, &mut floats, &param_pos, operands[0])?;
+                let m = float_of(ctx, &mut b, &mut floats, &param_pos, operands[1])?;
+                let c = float_of(ctx, &mut b, &mut floats, &param_pos, operands[2])?;
+                let r = b.fma(a, m, c);
+                floats.insert(ctx.result(op, 0), r);
+            }
+            "stencil.return" => {
+                let outs = operands
+                    .iter()
+                    .map(|&v| float_of(ctx, &mut b, &mut floats, &param_pos, v))
+                    .collect::<IrResult<Vec<_>>>()?;
+                return b.finish(&outs);
+            }
+            other => ir_bail!("bytecode: unsupported op `{other}` in apply body"),
+        }
+    }
+    ir_bail!("stencil.apply body has no stencil.return")
+}
+
+// ---- executing a compiled apply -----------------------------------------
+
+/// Execute a compiled `stencil.apply` over `store`, allocating and filling
+/// one result buffer per apply result. Returns the result buffer handles
+/// in result order.
+///
+/// Mirrors the tree-walker's `exec_stencil_apply` exactly: the iteration
+/// box is the result bounds, traversed row-major (last dimension fastest),
+/// so the k-th point is the k-th linear element of each result buffer.
+pub fn exec_apply(
+    ctx: &Context,
+    apply: OpId,
+    args: &[RtValue],
+    store: &mut Store,
+    prog: &Program,
+) -> IrResult<Vec<usize>> {
+    let results = ctx.results(apply).to_vec();
+    ir_ensure!(!results.is_empty(), "stencil.apply without results");
+    let bounds = ctx
+        .value_type(results[0])
+        .stencil_bounds()
+        .ok_or_else(|| ir_error!("stencil.apply result is not a stencil.temp"))?
+        .clone();
+    for &r in &results {
+        let rb = ctx
+            .value_type(r)
+            .stencil_bounds()
+            .ok_or_else(|| ir_error!("stencil.apply result is not a stencil.temp"))?;
+        ir_ensure!(*rb == bounds, "bytecode: apply results with differing bounds");
+    }
+    let rank = bounds.rank();
+    let lb = bounds.lb.clone();
+    let ub = bounds.ub.clone();
+    let extents = bounds.extents();
+    let n_points: usize = extents.iter().map(|&e| e.max(0) as usize).product();
+
+    let mut regs = vec![0.0f64; prog.n_regs as usize];
+
+    // Per-point buffer loads: (input register, data, shape, origin+offset
+    // fused into a per-dim subtrahend).
+    struct BufLoad<'a> {
+        reg: usize,
+        data: &'a [f64],
+        shape: Vec<i64>,
+        sub: Vec<i64>, // point[d] + offset[d] - origin[d] = point[d] - sub[d]
+    }
+    struct ParamRead<'a> {
+        reg: usize,
+        data: &'a [f64],
+        dim: usize,
+        sub: i64, // data index = point[dim] - sub
+    }
+    let mut buf_loads: Vec<BufLoad<'_>> = Vec::new();
+    let mut param_reads: Vec<ParamRead<'_>> = Vec::new();
+
+    for (i, input) in prog.inputs.iter().enumerate() {
+        match input {
+            InputRef::Scalar { operand } => {
+                let v = args
+                    .get(*operand as usize)
+                    .ok_or_else(|| ir_error!("bytecode: operand index out of range"))?
+                    .as_f64()?;
+                regs[i] = v;
+            }
+            InputRef::Access { operand, offset } => {
+                let handle = args
+                    .get(*operand as usize)
+                    .ok_or_else(|| ir_error!("bytecode: operand index out of range"))?
+                    .as_memref()?;
+                let buf: &Buffer = store.get(handle)?;
+                ir_ensure!(
+                    buf.shape.len() == rank && offset.len() == rank,
+                    "bytecode: access rank mismatch"
+                );
+                // The iteration box is a product of per-dim intervals, so
+                // checking both interval endpoints per dim bounds every
+                // point the loop will touch.
+                for d in 0..rank {
+                    let lo = lb[d] + offset[d] - buf.origin[d];
+                    let hi = (ub[d] - 1) + offset[d] - buf.origin[d];
+                    ir_ensure!(
+                        lo >= 0 && hi < buf.shape[d],
+                        "bytecode: access offset {offset:?} out of bounds \
+                         (dim {d}, shape {:?}, origin {:?})",
+                        buf.shape,
+                        buf.origin
+                    );
+                }
+                buf_loads.push(BufLoad {
+                    reg: i,
+                    data: &buf.data,
+                    shape: buf.shape.clone(),
+                    sub: (0..rank).map(|d| buf.origin[d] - offset[d]).collect(),
+                });
+            }
+            InputRef::ParamLoad {
+                operand,
+                dim,
+                shift,
+            } => {
+                let handle = args
+                    .get(*operand as usize)
+                    .ok_or_else(|| ir_error!("bytecode: operand index out of range"))?
+                    .as_memref()?;
+                let buf: &Buffer = store.get(handle)?;
+                let dim = *dim as usize;
+                ir_ensure!(
+                    buf.shape.len() == 1 && dim < rank,
+                    "bytecode: parameter load shape mismatch"
+                );
+                let lo = lb[dim] + shift - buf.origin[0];
+                let hi = (ub[dim] - 1) + shift - buf.origin[0];
+                ir_ensure!(
+                    lo >= 0 && hi < buf.shape[0],
+                    "bytecode: parameter index out of bounds (dim {dim}, shift {shift})"
+                );
+                param_reads.push(ParamRead {
+                    reg: i,
+                    data: &buf.data,
+                    dim,
+                    sub: buf.origin[0] - shift,
+                });
+            }
+            InputRef::PackElem { .. } | InputRef::ReadScalar { .. } => {
+                ir_bail!("bytecode: stream inputs are not valid in a stencil.apply plan")
+            }
+        }
+    }
+
+    let mut outs: Vec<Vec<f64>> = (0..results.len()).map(|_| vec![0.0; n_points]).collect();
+    if n_points > 0 && rank > 0 {
+        let mut point = lb.clone();
+        for k in 0..n_points {
+            for bl in &buf_loads {
+                let mut lin: i64 = 0;
+                for d in 0..rank {
+                    lin = lin * bl.shape[d] + (point[d] - bl.sub[d]);
+                }
+                regs[bl.reg] = bl.data[lin as usize];
+            }
+            for pr in &param_reads {
+                regs[pr.reg] = pr.data[(point[pr.dim] - pr.sub) as usize];
+            }
+            prog.run(&mut regs);
+            for (o, &r) in outs.iter_mut().zip(&prog.results) {
+                o[k] = regs[r as usize];
+            }
+            // Row-major odometer, last dimension fastest — the same order
+            // as `iter_box`.
+            let mut d = rank;
+            while d > 0 {
+                d -= 1;
+                point[d] += 1;
+                if point[d] < ub[d] {
+                    break;
+                }
+                point[d] = lb[d];
+            }
+        }
+    }
+
+    let handles = outs
+        .into_iter()
+        .map(|data| {
+            store.alloc(Buffer {
+                shape: extents.clone(),
+                origin: lb.clone(),
+                data,
+            })
+        })
+        .collect();
+    Ok(handles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OpBuilder;
+    use crate::interp::{Machine, NoExtern};
+    use crate::prelude::*;
+
+    #[test]
+    fn builder_runs_and_reuses_registers() {
+        let mut b = ProgramBuilder::new();
+        let a = b.input(InputRef::Scalar { operand: 0 });
+        let c = b.constant(2.0);
+        let t1 = b.binary(BinOp::Mul, a, c); // dies feeding t2
+        let t2 = b.binary(BinOp::Add, t1, a);
+        let t3 = b.unary(UnOp::Neg, t2);
+        let p = b.finish(&[t3]).unwrap();
+        // 1 input + at most 3 live temps; the free list keeps it tight.
+        assert!(p.n_regs <= 4, "n_regs = {}", p.n_regs);
+        let mut regs = vec![0.0; p.n_regs as usize];
+        regs[0] = 3.0;
+        p.run(&mut regs);
+        assert_eq!(regs[p.results[0] as usize], -(3.0 * 2.0 + 3.0));
+    }
+
+    #[test]
+    fn input_registers_survive_repeated_runs() {
+        // Shrunk from a fuzzed kernel: `out = (c + 1.0) / 0.65` with a
+        // scalar constant `c`. The scalar's last use is early, so a naive
+        // allocator recycles its register as the division's destination —
+        // and a host that prefills scalars once (as `exec_apply` does)
+        // then reads the previous point's result instead of `c` on every
+        // point after the first.
+        let mut b = ProgramBuilder::new();
+        let c = b.input(InputRef::Scalar { operand: 0 });
+        let one = b.constant(1.0);
+        let s = b.binary(BinOp::Add, c, one);
+        let d = b.constant(0.65);
+        let q = b.binary(BinOp::Div, s, d);
+        let p = b.finish(&[q]).unwrap();
+        let mut regs = vec![0.0; p.n_regs as usize];
+        regs[0] = 1.84;
+        p.run(&mut regs);
+        let first = regs[p.results[0] as usize];
+        assert_eq!(first.to_bits(), ((1.84f64 + 1.0) / 0.65).to_bits());
+        // Without refilling anything, a second run must see the scalar
+        // intact and reproduce the same answer bit-for-bit.
+        p.run(&mut regs);
+        assert_eq!(regs[0].to_bits(), 1.84f64.to_bits());
+        assert_eq!(regs[p.results[0] as usize].to_bits(), first.to_bits());
+    }
+
+    #[test]
+    fn long_chain_stays_in_few_registers() {
+        let mut b = ProgramBuilder::new();
+        let x = b.input(InputRef::Scalar { operand: 0 });
+        let mut acc = b.constant(0.0);
+        for _ in 0..64 {
+            acc = b.binary(BinOp::Add, acc, x);
+        }
+        let p = b.finish(&[acc]).unwrap();
+        assert!(p.n_regs <= 4, "n_regs = {}", p.n_regs);
+        let mut regs = vec![0.0; p.n_regs as usize];
+        regs[0] = 1.5;
+        p.run(&mut regs);
+        assert_eq!(regs[p.results[0] as usize], 64.0 * 1.5);
+    }
+
+    #[test]
+    fn duplicate_inputs_share_a_register() {
+        let mut b = ProgramBuilder::new();
+        let a1 = b.input(InputRef::Access {
+            operand: 0,
+            offset: vec![1],
+        });
+        let a2 = b.input(InputRef::Access {
+            operand: 0,
+            offset: vec![1],
+        });
+        assert_eq!(a1, a2);
+        let s = b.binary(BinOp::Add, a1, a2);
+        let p = b.finish(&[s]).unwrap();
+        assert_eq!(p.inputs.len(), 1);
+    }
+
+    /// Hand-build `out[i] = in[i-1] + in[i+1]` (the interpreter test's
+    /// apply), compile it, and check the fast path is bitwise-identical to
+    /// the tree-walker.
+    fn build_sum_module() -> (Context, OpId, OpId) {
+        let mut ctx = Context::new();
+        let module = ctx.create_op("builtin.module", vec![], vec![], Default::default());
+        let mr = ctx.add_region(module);
+        let mb = ctx.add_block(mr, vec![]);
+        let field_ty = Type::stencil_field(StencilBounds::new(vec![-1], vec![9]), Type::F64);
+        let temp_in = Type::stencil_temp(StencilBounds::new(vec![-1], vec![9]), Type::F64);
+        let temp_out = Type::stencil_temp(StencilBounds::new(vec![0], vec![8]), Type::F64);
+
+        let mut b = OpBuilder::at_block_end(&mut ctx, mb);
+        let mut fattrs = std::collections::BTreeMap::new();
+        fattrs.insert("sym_name".to_string(), Attribute::string("main"));
+        let (_f, fb) = b.build_with_region(
+            "func.func",
+            vec![],
+            vec![],
+            fattrs,
+            vec![field_ty.clone(), field_ty.clone(), Type::F64],
+        );
+        let fin = ctx.block_args(fb)[0];
+        let fout = ctx.block_args(fb)[1];
+        let w = ctx.block_args(fb)[2];
+        let mut b = OpBuilder::at_block_end(&mut ctx, fb);
+        let loaded = b.build_value("stencil.load", vec![fin], temp_in.clone());
+        let (apply, ab) = b.build_with_region(
+            "stencil.apply",
+            vec![loaded, w],
+            vec![temp_out.clone()],
+            Default::default(),
+            vec![temp_in, Type::F64],
+        );
+        let arg = ctx.block_args(ab)[0];
+        let warg = ctx.block_args(ab)[1];
+        let mut ib = OpBuilder::at_block_end(&mut ctx, ab);
+        let l = ib.build_value("stencil.access", vec![arg], Type::F64);
+        ctx.set_attr(
+            ctx.defining_op(l).unwrap(),
+            "offset",
+            Attribute::IndexArray(vec![-1]),
+        );
+        let mut ib = OpBuilder::at_block_end(&mut ctx, ab);
+        let r = ib.build_value("stencil.access", vec![arg], Type::F64);
+        ctx.set_attr(
+            ctx.defining_op(r).unwrap(),
+            "offset",
+            Attribute::IndexArray(vec![1]),
+        );
+        let mut ib = OpBuilder::at_block_end(&mut ctx, ab);
+        let s = ib.build_value("arith.addf", vec![l, r], Type::F64);
+        let scaled = ib.build_value("arith.mulf", vec![s, warg], Type::F64);
+        ib.build("stencil.return", vec![scaled], vec![]);
+
+        let apply_res = ctx.result(apply, 0);
+        let mut b = OpBuilder::at_block_end(&mut ctx, fb);
+        let store = b.build("stencil.store", vec![apply_res, fout], vec![]);
+        b.build("func.return", vec![], vec![]);
+        ctx.set_attr(store, "bounds", Attribute::IndexArray(vec![0, 8]));
+        (ctx, module, apply)
+    }
+
+    fn run_sum(ctx: &Context, module: OpId, plans: HashMap<OpId, std::sync::Arc<Program>>) -> Vec<f64> {
+        let mut no = NoExtern;
+        let mut m = Machine::new(ctx, module, &mut no);
+        m.apply_plans = plans;
+        let mut in_buf = Buffer::zeroed(vec![10], vec![-1]);
+        for i in -1..9 {
+            in_buf.store(&[i], 0.1 * i as f64 + 0.3).unwrap();
+        }
+        let in_h = m.store.alloc(in_buf);
+        let out_h = m.store.alloc(Buffer::zeroed(vec![10], vec![-1]));
+        m.call(
+            "main",
+            &[
+                RtValue::MemRef(in_h),
+                RtValue::MemRef(out_h),
+                RtValue::F64(0.7),
+            ],
+        )
+        .unwrap();
+        m.store.get(out_h).unwrap().data.clone()
+    }
+
+    #[test]
+    fn compiled_apply_is_bitwise_identical_to_tree_walker() {
+        let (ctx, module, apply) = build_sum_module();
+        let prog = compile_apply(&ctx, apply).unwrap();
+        assert_eq!(prog.inputs.len(), 3); // two accesses + one scalar
+        let tree = run_sum(&ctx, module, HashMap::new());
+        let mut plans = HashMap::new();
+        plans.insert(apply, std::sync::Arc::new(prog));
+        let fast = run_sum(&ctx, module, plans);
+        assert_eq!(tree.len(), fast.len());
+        for (i, (a, b)) in tree.iter().zip(&fast).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "element {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unsupported_op_fails_to_compile() {
+        let (mut ctx, _module, apply) = build_sum_module();
+        // Wedge an unsupported op into the body, ahead of the return.
+        let ab = ctx.entry_block(apply).unwrap();
+        let first = ctx.block_ops(ab)[0];
+        let arg = ctx.block_args(ab)[1];
+        let mut b = OpBuilder::before(&mut ctx, first);
+        b.build_value("arith.fptosi", vec![arg], Type::I64);
+        let e = compile_apply(&ctx, apply).unwrap_err();
+        assert!(e.to_string().contains("unsupported op"), "{e}");
+    }
+
+    #[test]
+    fn mutated_opcode_changes_the_result() {
+        // The self-test the conformance fault-injection suite relies on:
+        // flipping one opcode must produce observably different output.
+        let (ctx, module, apply) = build_sum_module();
+        let mut prog = compile_apply(&ctx, apply).unwrap();
+        let pos = prog
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Binary { op: BinOp::Add, .. }))
+            .unwrap();
+        if let Instr::Binary { op, .. } = &mut prog.instrs[pos] {
+            *op = BinOp::Sub;
+        }
+        let tree = run_sum(&ctx, module, HashMap::new());
+        let mut plans = HashMap::new();
+        plans.insert(apply, std::sync::Arc::new(prog));
+        let mutated = run_sum(&ctx, module, plans);
+        assert_ne!(tree, mutated);
+    }
+}

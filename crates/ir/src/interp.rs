@@ -257,6 +257,11 @@ pub struct Machine<'c, 'e> {
     stencil_index: Vec<i64>,
     /// Fuel: remaining op executions before aborting (runaway-loop guard).
     pub fuel: u64,
+    /// Bytecode fast paths for `stencil.apply` ops, keyed by op. Empty by
+    /// default — the tree-walker is the oracle; a driver that has compiled
+    /// plans (see [`crate::bytecode`]) installs them here and the machine
+    /// uses them transparently, with identical (bitwise) results.
+    pub apply_plans: HashMap<OpId, std::sync::Arc<crate::bytecode::Program>>,
 }
 
 impl<'c, 'e> Machine<'c, 'e> {
@@ -277,6 +282,7 @@ impl<'c, 'e> Machine<'c, 'e> {
             extern_ops,
             stencil_index: Vec::new(),
             fuel: u64::MAX,
+            apply_plans: HashMap::new(),
         }
     }
 
@@ -781,6 +787,23 @@ impl<'c, 'e> Machine<'c, 'e> {
 
     /// `stencil.apply`: run the region once per point of the result bounds.
     fn exec_stencil_apply(&mut self, op: OpId, args: &[RtValue]) -> IrResult<()> {
+        // Bytecode tier: when a compiled plan exists for this apply, run
+        // the flat register program instead of re-walking the region per
+        // point. Bitwise-identical by construction (same ops, same order).
+        if !self.apply_plans.is_empty() {
+            if let Some(plan) = self.apply_plans.get(&op).cloned() {
+                let handles = crate::bytecode::exec_apply(self.ctx, op, args, &mut self.store, &plan)?;
+                let results = self.ctx.results(op).to_vec();
+                ir_ensure!(
+                    results.len() == handles.len(),
+                    "bytecode plan result arity mismatch"
+                );
+                for (&r, h) in results.iter().zip(handles) {
+                    self.bind(r, RtValue::MemRef(h));
+                }
+                return Ok(());
+            }
+        }
         let ctx = self.ctx;
         let results = ctx.results(op).to_vec();
         ir_ensure!(!results.is_empty(), "stencil.apply without results");

@@ -36,6 +36,7 @@
 
 pub mod attributes;
 pub mod builder;
+pub mod bytecode;
 pub mod error;
 pub mod interp;
 pub mod ir;
