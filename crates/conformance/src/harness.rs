@@ -18,8 +18,9 @@ use shmls_fpga_sim::design::DesignDescriptor;
 use shmls_frontend::{FieldKind, KernelDef};
 use shmls_ir::attributes::Attribute;
 use shmls_ir::interp::Buffer;
+use shmls_ir::bytecode::ApplyMode;
 use stencil_hmls::runner::{
-    run_cpu, run_hls, run_hls_threaded, run_stencil, run_stencil_bytecode, KernelData,
+    run_cpu, run_hls, run_hls_threaded, run_stencil, run_stencil_bytecode_with, KernelData,
 };
 use stencil_hmls::scale::{run_time_marched, time_march_reference};
 use stencil_hmls::{compile_kernel, CompileOptions, CompiledKernel, TargetPath};
@@ -30,10 +31,17 @@ use crate::rng::Rng;
 /// *against* it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
-    /// Bytecode tier: the stencil function with every `stencil.apply`
-    /// executed as a compiled register program. Checked at zero ULPs —
-    /// the tier's contract is bitwise equality with the tree-walker.
+    /// Bytecode tier, scalar dispatch: the stencil function with every
+    /// `stencil.apply` executed as a compiled register program, one point
+    /// per program dispatch. Checked at zero ULPs — the tier's contract
+    /// is bitwise equality with the tree-walker.
     Bytecode,
+    /// Bytecode tier, vector dispatch: the same register programs
+    /// executed over [`shmls_ir::bytecode::LANES`]-point chunks with the
+    /// interior/halo row split, threaded over the axis-0 slab partition.
+    /// Also checked at zero ULPs: chunking and threading are pure
+    /// scheduling — no reassociation, no cross-lane arithmetic.
+    Simd,
     /// Von-Neumann loop-nest lowering, interpreted.
     Cpu,
     /// Sequential Kahn executor over the HLS dataflow design.
@@ -47,8 +55,9 @@ pub enum Engine {
 
 impl Engine {
     /// Every engine, in check order.
-    pub const ALL: [Engine; 5] = [
+    pub const ALL: [Engine; 6] = [
         Engine::Bytecode,
+        Engine::Simd,
         Engine::Cpu,
         Engine::Hls,
         Engine::Threaded,
@@ -59,6 +68,7 @@ impl Engine {
     pub fn name(&self) -> &'static str {
         match self {
             Engine::Bytecode => "bytecode",
+            Engine::Simd => "simd",
             Engine::Cpu => "cpu",
             Engine::Hls => "hls",
             Engine::Threaded => "threaded",
@@ -408,15 +418,31 @@ fn check_engine(
         compare_outputs(engine, &compiled.kernel, oracle, out, opts.max_ulps)
     };
     match engine {
-        Engine::Bytecode => match run_stencil_bytecode(compiled, data) {
+        Engine::Bytecode => {
             // Bitwise contract: the bytecode tier is checked at zero
             // ULPs, whatever tolerance the other engines run under.
-            Ok(out) => compare_outputs(engine, &compiled.kernel, oracle, &out, 0),
-            Err(e) => Some(Failure::Engine {
-                engine,
-                error: e.to_string(),
-            }),
-        },
+            // Scalar mode is pinned so this engine keeps covering the
+            // per-point dispatch path now that the default is chunked.
+            match run_stencil_bytecode_with(compiled, data, ApplyMode::Scalar) {
+                Ok(out) => compare_outputs(engine, &compiled.kernel, oracle, &out, 0),
+                Err(e) => Some(Failure::Engine {
+                    engine,
+                    error: e.to_string(),
+                }),
+            }
+        }
+        Engine::Simd => {
+            // The vector tier under its most adversarial schedule:
+            // chunked rows *and* a slab thread fan-out. Still zero ULPs —
+            // mode changes scheduling, never arithmetic.
+            match run_stencil_bytecode_with(compiled, data, ApplyMode::Chunked { threads: 3 }) {
+                Ok(out) => compare_outputs(engine, &compiled.kernel, oracle, &out, 0),
+                Err(e) => Some(Failure::Engine {
+                    engine,
+                    error: e.to_string(),
+                }),
+            }
+        }
         Engine::Cpu => match run_cpu(compiled, data) {
             Ok(out) => compare(&out),
             Err(e) => Some(Failure::Engine {

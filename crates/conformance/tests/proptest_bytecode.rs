@@ -27,10 +27,10 @@ use shmls_conformance::generator::generate;
 use shmls_conformance::harness::make_data;
 use shmls_conformance::rng::Rng;
 use shmls_conformance::GenOptions;
-use shmls_ir::bytecode::{BinOp, Instr, UnOp};
+use shmls_ir::bytecode::{ApplyMode, BinOp, Instr, UnOp, LANES};
 use shmls_ir::interp::iter_box;
 use stencil_hmls::runner::{
-    run_hls, run_hls_threaded, run_stencil, run_stencil_bytecode,
+    run_hls, run_hls_threaded, run_stencil, run_stencil_bytecode, run_stencil_bytecode_with,
 };
 use stencil_hmls::{compile_kernel, CompileOptions, CompiledKernel, TargetPath};
 
@@ -54,8 +54,19 @@ fn check_bytecode_bitwise(seed: u64, case: u64, data_seed: u64) -> usize {
     let data = make_data(&kernel, data_seed);
 
     let oracle = run_stencil(&compiled, &data).expect("tree-walker oracle");
-    let fast = run_stencil_bytecode(&compiled, &data).expect("bytecode tier");
+    let fast = run_stencil_bytecode_with(&compiled, &data, ApplyMode::Scalar)
+        .expect("bytecode tier (scalar)");
     assert_bitwise(seed, case, "bytecode", &oracle, &fast, &kernel.grid);
+    // The vector tier, in both its serial-chunked and threaded schedules:
+    // still zero drift — chunking moves points between dispatches, never
+    // operations between points.
+    let simd = run_stencil_bytecode_with(&compiled, &data, ApplyMode::Chunked { threads: 1 })
+        .expect("bytecode tier (chunked)");
+    assert_bitwise(seed, case, "simd", &oracle, &simd, &kernel.grid);
+    let threaded_simd =
+        run_stencil_bytecode_with(&compiled, &data, ApplyMode::Chunked { threads: 3 })
+            .expect("bytecode tier (chunked+threaded)");
+    assert_bitwise(seed, case, "simd-threaded", &oracle, &threaded_simd, &kernel.grid);
 
     // One layer down: sequential Kahn engine (tree-walks stage bodies)
     // vs the threaded engine (executes planned stages as bytecode).
@@ -107,6 +118,64 @@ fn bytecode_matches_tree_walker_sweep() {
         planned += n;
     }
     assert!(planned >= 24, "suspiciously low plan coverage: {planned}");
+}
+
+/// Run laplace over an inner extent of exactly `n` in every apply mode
+/// and require bitwise agreement with the tree-walker. `threads` also
+/// varies so the axis-0 slab split and the inner-axis chunk split are
+/// exercised together.
+fn check_chunk_seam(source: &str, label: &str, max_threads: usize) {
+    let kernel = shmls_frontend::parse_kernel(source).expect("parse seam kernel");
+    let compiled = compile_kernel(kernel.clone(), &compile_opts()).expect("compile");
+    assert!(
+        !compiled.apply_plans.is_empty(),
+        "{label}: no apply compiled to bytecode"
+    );
+    let data = make_data(&kernel, 5);
+    let oracle = run_stencil(&compiled, &data).expect("oracle");
+    for threads in 1..=max_threads {
+        let got =
+            run_stencil_bytecode_with(&compiled, &data, ApplyMode::Chunked { threads })
+                .unwrap_or_else(|e| panic!("{label} threads={threads}: {e}"));
+        let lb = vec![0i64; kernel.grid.len()];
+        for (name, expect) in &oracle {
+            let out = &got[name];
+            for p in iter_box(&lb, &kernel.grid) {
+                let e = expect.load(&p).unwrap();
+                let g = out.load(&p).unwrap();
+                assert_eq!(
+                    e.to_bits(),
+                    g.to_bits(),
+                    "{label} threads={threads}: `{name}` at {p:?}: {e:e} vs {g:e}"
+                );
+            }
+        }
+    }
+}
+
+/// The chunk-grid seams, deterministically: inner extents of W−1 (tail
+/// only), W (one full chunk, no tail), W+1 and 2W+1 (full chunks plus a
+/// one-point tail) for the vector tier's chunk width W = [`LANES`] —
+/// plus a 3-D case where the seam runs along every row of a threaded
+/// slab split. These are exactly the off-by-one shapes a chunked
+/// interior/halo split gets wrong first.
+#[test]
+fn chunk_boundary_extents_are_bitwise_exact() {
+    let w = LANES as i64;
+    for n in [w - 1, w, w + 1, 2 * w + 1] {
+        check_chunk_seam(
+            &shmls_kernels::laplace::source_1d(n),
+            &format!("laplace1d n={n}"),
+            4,
+        );
+    }
+    // Rank 3: inner extent W+1, a handful of axis-0 rows to split across
+    // more threads than rows (the clamp path), and an interior halo.
+    check_chunk_seam(
+        &shmls_kernels::laplace::source_3d(3, 4, w + 1),
+        "laplace3d inner=W+1",
+        5,
+    );
 }
 
 /// Flip one opcode in a compiled plan and require the differential to
@@ -188,5 +257,37 @@ proptest! {
         (seed, case, data_seed) in (any::<u64>(), 0u64..256, 1u64..1_000_000)
     ) {
         check_bytecode_bitwise(seed, case, data_seed);
+    }
+
+    /// Interior/halo split property: for a random inner extent straddling
+    /// the chunk grid and a random thread count, the chunked executor's
+    /// full-chunk interior + per-point tail must partition the row with
+    /// no gap, no overlap, and no arithmetic difference — checked by
+    /// bitwise comparison against the tree-walker at every point.
+    #[test]
+    fn interior_halo_split_is_exact(
+        (extra, threads, data_seed) in (0i64..(2 * LANES as i64 + 2), 1usize..5, 1u64..1_000)
+    ) {
+        let n = LANES as i64 - 1 + extra;
+        let kernel = shmls_frontend::parse_kernel(&shmls_kernels::laplace::source_1d(n))
+            .expect("parse");
+        let compiled = compile_kernel(kernel.clone(), &compile_opts()).expect("compile");
+        let data = make_data(&kernel, data_seed);
+        let oracle = run_stencil(&compiled, &data).expect("oracle");
+        let got = run_stencil_bytecode_with(&compiled, &data, ApplyMode::Chunked { threads })
+            .expect("chunked");
+        let lb = vec![0i64; kernel.grid.len()];
+        for (name, expect) in &oracle {
+            let out = &got[name];
+            for p in iter_box(&lb, &kernel.grid) {
+                let e = expect.load(&p).unwrap();
+                let g = out.load(&p).unwrap();
+                prop_assert_eq!(
+                    e.to_bits(), g.to_bits(),
+                    "n={} threads={} `{}` at {:?}: {:e} vs {:e}",
+                    n, threads, name, p, e, g
+                );
+            }
+        }
     }
 }

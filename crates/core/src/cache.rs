@@ -24,7 +24,7 @@ use shmls_frontend::{kernel_to_source, KernelDef};
 use shmls_ir::error::IrResult;
 use shmls_ir::ir_error;
 
-use crate::driver::{compile_kernel, CompileOptions, CompiledKernel};
+use crate::driver::{compile_kernel, CompileOptions, CompiledKernel, TargetPath};
 
 /// Streaming FNV-1a (64-bit) hasher. Stable across hosts and runs — the
 /// digest is part of the repo's determinism evidence (fuzzer digests,
@@ -157,13 +157,50 @@ impl CompileCache {
     /// (grid shape included, so every slab height keys separately) and a
     /// fingerprint of every compile option. Two requests with the same
     /// key are guaranteed to want byte-identical designs.
+    ///
+    /// Every option field is hashed explicitly through an exhaustive
+    /// destructuring — no `..` — so adding a field to [`CompileOptions`]
+    /// or [`crate::hmls::HmlsOptions`] breaks this function at compile
+    /// time instead of silently aliasing designs that differ in the new
+    /// field. (The previous fingerprint hashed `format!("{opts:?}")`,
+    /// which would also quietly change for cosmetic Debug-format edits.)
     pub fn key(kernel: &KernelDef, opts: &CompileOptions) -> u64 {
+        let CompileOptions {
+            hmls:
+                crate::hmls::HmlsOptions {
+                    stream_depth,
+                    window_stream_depth,
+                    ii,
+                    unroll,
+                },
+            paths,
+            verify,
+            optimize,
+            time_passes,
+            snapshots,
+        } = opts;
         let mut h = Fnv64::new();
         h.update(kernel_to_source(kernel).as_bytes());
-        h.update(b"|opts:");
-        // `CompileOptions` is a flat struct of scalars and enums; its
-        // Debug rendering is a complete, stable fingerprint.
-        h.update(format!("{opts:?}").as_bytes());
+        let mut field = |tag: &str, value: i64| {
+            h.update(tag.as_bytes());
+            h.update(&value.to_le_bytes());
+        };
+        field("|stream_depth:", *stream_depth);
+        field("|window_stream_depth:", *window_stream_depth);
+        field("|ii:", *ii);
+        field("|unroll:", *unroll);
+        field(
+            "|paths:",
+            match paths {
+                TargetPath::HlsOnly => 0,
+                TargetPath::HlsAndCpu => 1,
+                TargetPath::Full => 2,
+            },
+        );
+        field("|verify:", i64::from(*verify));
+        field("|optimize:", i64::from(*optimize));
+        field("|time_passes:", i64::from(*time_passes));
+        field("|snapshots:", i64::from(*snapshots));
         h.finish()
     }
 
@@ -349,6 +386,99 @@ mod tests {
             time_passes: false,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn every_option_field_perturbs_the_key() {
+        // Exhaustively destructure the defaults: adding a field to either
+        // options struct fails here until the new field both feeds
+        // `CompileCache::key` and gets a perturbed variant below.
+        let k = kernel(6);
+        let base = CompileOptions::default();
+        let crate::driver::CompileOptions {
+            hmls:
+                crate::hmls::HmlsOptions {
+                    stream_depth,
+                    window_stream_depth,
+                    ii,
+                    unroll,
+                },
+            paths: _,
+            verify,
+            optimize,
+            time_passes,
+            snapshots,
+        } = base.clone();
+        let variants = vec![
+            CompileOptions {
+                hmls: crate::hmls::HmlsOptions {
+                    stream_depth: stream_depth + 1,
+                    ..base.hmls
+                },
+                ..base.clone()
+            },
+            CompileOptions {
+                hmls: crate::hmls::HmlsOptions {
+                    window_stream_depth: window_stream_depth + 1,
+                    ..base.hmls
+                },
+                ..base.clone()
+            },
+            CompileOptions {
+                hmls: crate::hmls::HmlsOptions {
+                    ii: ii + 1,
+                    ..base.hmls
+                },
+                ..base.clone()
+            },
+            CompileOptions {
+                hmls: crate::hmls::HmlsOptions {
+                    unroll: unroll + 1,
+                    ..base.hmls
+                },
+                ..base.clone()
+            },
+            CompileOptions {
+                paths: TargetPath::HlsOnly,
+                ..base.clone()
+            },
+            CompileOptions {
+                paths: TargetPath::HlsAndCpu,
+                ..base.clone()
+            },
+            CompileOptions {
+                verify: !verify,
+                ..base.clone()
+            },
+            CompileOptions {
+                optimize: !optimize,
+                ..base.clone()
+            },
+            CompileOptions {
+                time_passes: !time_passes,
+                ..base.clone()
+            },
+            CompileOptions {
+                snapshots: !snapshots,
+                ..base.clone()
+            },
+        ];
+        let base_key = CompileCache::key(&k, &base);
+        let mut keys = vec![base_key];
+        for (i, v) in variants.iter().enumerate() {
+            let key = CompileCache::key(&k, v);
+            assert_ne!(key, base_key, "variant {i} must not alias the defaults");
+            keys.push(key);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(
+            keys.len(),
+            variants.len() + 1,
+            "every perturbed option set must key separately"
+        );
+        // The key must also be stable across calls (pure function).
+        assert_eq!(base_key, CompileCache::key(&k, &base));
     }
 
     #[test]

@@ -130,9 +130,23 @@ pub fn run_stencil_bytecode(
     compiled: &CompiledKernel,
     data: &KernelData,
 ) -> IrResult<BTreeMap<String, Buffer>> {
+    run_stencil_bytecode_with(compiled, data, shmls_ir::bytecode::ApplyMode::default())
+}
+
+/// [`run_stencil_bytecode`] with an explicit
+/// [`ApplyMode`](shmls_ir::bytecode::ApplyMode): `Scalar` is the
+/// per-point dispatch the bench harness measures speedups against;
+/// `Chunked` is the vector tier (optionally threaded over the axis-0
+/// slab partition). Results are bitwise-identical in every mode.
+pub fn run_stencil_bytecode_with(
+    compiled: &CompiledKernel,
+    data: &KernelData,
+    mode: shmls_ir::bytecode::ApplyMode,
+) -> IrResult<BTreeMap<String, Buffer>> {
     let mut no = NoExtern;
     let mut machine = Machine::new(&compiled.ctx, compiled.module, &mut no);
     machine.apply_plans = compiled.apply_plans.clone();
+    machine.apply_mode = mode;
     let (args, handles) = bind_args(compiled, data, &mut machine.store)?;
     machine.call(&compiled.kernel.name, &args)?;
     collect_outputs(compiled, &machine.store, &handles)

@@ -45,18 +45,12 @@ use crate::runner::{run_hls, KernelData, StreamStats};
 
 /// Split `n0` rows into `cus` contiguous `[start, end)` slabs; the
 /// remainder rows go one each to the first CUs, so heights differ by at
-/// most one.
+/// most one. Delegates to [`shmls_ir::bytecode::slab_partition`] so the
+/// CU decomposition and the bytecode tier's thread decomposition are the
+/// same function — a threaded interpreter run and a multi-CU run agree on
+/// slab ownership by construction.
 pub fn partition(n0: i64, cus: usize) -> Vec<(i64, i64)> {
-    let base = n0 / cus as i64;
-    let remainder = n0 % cus as i64;
-    let mut slabs = Vec::with_capacity(cus);
-    let mut start = 0i64;
-    for cu in 0..cus as i64 {
-        let end = start + base + i64::from(cu < remainder);
-        slabs.push((start, end));
-        start = end;
-    }
-    slabs
+    shmls_ir::bytecode::slab_partition(n0, cus)
 }
 
 /// The `(output field, input field)` feedback pairs for time-marching:
@@ -109,6 +103,11 @@ pub struct MarchOptions<'a> {
     pub cache: Option<&'a CompileCache>,
     /// Corrupt one halo-exchange row (self-test hook).
     pub fault: Option<HaloFault>,
+    /// Panic inside this CU's worker (self-test hook): verifies a worker
+    /// panic surfaces as a structured error naming the CU instead of
+    /// tearing down the whole process. The march aborts on the first
+    /// step's error, so the panic fires exactly once.
+    pub panic_cu: Option<usize>,
 }
 
 /// Per-compute-unit execution record.
@@ -288,7 +287,7 @@ pub fn run_time_marched_with(
     let mut streams = vec![0usize; cus];
     let mut last_outputs: Vec<BTreeMap<String, Buffer>> = Vec::new();
     for step in 0..steps {
-        let step_out = run_all_cus(&states, march.serial)?;
+        let step_out = run_all_cus(&states, march.serial, march.panic_cu)?;
         for (cu, (_, (n_streams, pushed, beats), wall)) in step_out.iter().enumerate() {
             streams[cu] = *n_streams;
             stream_elements[cu] += pushed;
@@ -468,27 +467,60 @@ fn slice_slab_data(
 /// serially when asked. Workers share only `&CuState` (the compiled
 /// design is immutable during execution) and each returns its own
 /// outputs; nothing is written to shared state until after the join.
+///
+/// A panicking worker is *contained*: its join error is converted into a
+/// structured [`IrResult`] error naming the CU (with the panic payload
+/// when it is a string), exactly like any other per-CU failure — callers
+/// see `Err`, not an aborted process. The remaining workers still run to
+/// completion first (scoped threads always join), so no slab is left
+/// half-executed when the error propagates.
 #[allow(clippy::type_complexity)]
 fn run_all_cus(
     states: &[CuState],
     serial: bool,
+    panic_cu: Option<usize>,
 ) -> IrResult<Vec<(BTreeMap<String, Buffer>, StreamStats, Duration)>> {
-    let run_one = |s: &CuState| -> IrResult<(BTreeMap<String, Buffer>, StreamStats, Duration)> {
+    let run_one = |cu: usize,
+                   s: &CuState|
+     -> IrResult<(BTreeMap<String, Buffer>, StreamStats, Duration)> {
+        if panic_cu == Some(cu) {
+            panic!("injected fault in compute unit {cu}");
+        }
         let t0 = Instant::now();
         let (out, stats) = run_hls(&s.compiled, &s.data)?;
         Ok((out, stats, t0.elapsed()))
     };
     if serial || states.len() == 1 {
-        return states.iter().map(run_one).collect();
+        return states
+            .iter()
+            .enumerate()
+            .map(|(cu, s)| run_one(cu, s))
+            .collect();
     }
     std::thread::scope(|scope| {
         let handles: Vec<_> = states
             .iter()
-            .map(|s| scope.spawn(move || run_one(s)))
+            .enumerate()
+            .map(|(cu, s)| scope.spawn(move || run_one(cu, s)))
             .collect();
-        handles
+        // Join *every* handle before propagating any error: a panicked
+        // handle left to the scope's implicit join would re-raise the
+        // panic and abort the caller.
+        let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        joined
             .into_iter()
-            .map(|h| h.join().expect("compute-unit worker panicked"))
+            .enumerate()
+            .map(|(cu, j)| match j {
+                Ok(result) => result,
+                Err(payload) => {
+                    let reason = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    Err(ir_error!("compute-unit {cu} worker panicked: {reason}"))
+                }
+            })
             .collect()
     })
 }
@@ -599,6 +631,58 @@ mod tests {
                 ("s".to_string(), "s".to_string()),
                 ("b".to_string(), "a".to_string()),
             ]
+        );
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_structured_error() {
+        // Regression: a panicking compute-unit worker used to hit the
+        // harness's `.expect("compute-unit worker panicked")`, re-raising
+        // the panic in the coordinating thread and tearing the whole
+        // process down. It must instead surface as an ordinary `Err`
+        // naming the CU, like every other per-CU failure (cf. HaloFault).
+        let kernel = parse_kernel(
+            "kernel p { grid(8, 6) halo 1 field a : input field b : output \
+             compute b { b = a[-1,0] + a[0,1] } }",
+        )
+        .unwrap();
+        let mut a = Buffer::zeroed(vec![10, 8], vec![-1, -1]);
+        for (i, v) in a.data.iter_mut().enumerate() {
+            *v = i as f64 * 0.25 - 3.0;
+        }
+        let data = KernelData::default()
+            .buffer("a", a)
+            .buffer("b", Buffer::zeroed(vec![10, 8], vec![-1, -1]));
+        let opts = CompileOptions {
+            paths: TargetPath::HlsOnly,
+            time_passes: false,
+            ..Default::default()
+        };
+        let cache = CompileCache::new();
+
+        // Sanity: the same configuration succeeds without the fault.
+        let clean = MarchOptions {
+            cache: Some(&cache),
+            ..Default::default()
+        };
+        run_time_marched_with(&kernel, &data, 2, 2, &opts, &clean)
+            .expect("clean parallel march must succeed");
+
+        let faulty = MarchOptions {
+            cache: Some(&cache),
+            panic_cu: Some(1),
+            ..Default::default()
+        };
+        let err = run_time_marched_with(&kernel, &data, 2, 2, &opts, &faulty)
+            .expect_err("injected worker panic must fail the march");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("compute-unit 1 worker panicked"),
+            "error must name the CU: {msg}"
+        );
+        assert!(
+            msg.contains("injected fault in compute unit 1"),
+            "error must carry the panic payload: {msg}"
         );
     }
 

@@ -16,8 +16,19 @@
 //! ([`shmls_ir::bytecode::Program`]); the stream-facing
 //! [`InputRef::PackElem`] / [`InputRef::ReadScalar`] variants index into
 //! the plan's per-iteration read list. Every opcode executes the same
-//! Rust expression the tree-walker uses, so a planned stage is
-//! bitwise-identical to the interpreted one.
+//! Rust expression the tree-walker uses — [`Program::run`] routes each
+//! instruction through the single-source `un_op` / `bin_op` semantics
+//! that the vector tier's chunked executor also calls — so a planned
+//! stage is bitwise-identical to the interpreted one, and any future
+//! opcode change lands in every execution tier at once.
+//!
+//! Stage plans deliberately stay *scalar* (one loop iteration per
+//! [`Program::run`] dispatch) rather than borrowing the apply tier's
+//! [`LANES`](shmls_ir::bytecode::LANES)-wide chunking: a stage's reads
+//! and writes interleave with other stages through bounded FIFOs, and
+//! batching N iterations' pops before their pushes would change the
+//! occupancy pattern the deadlock and cycle models are validating. The
+//! sharing is the opcode *semantics*, not the traversal schedule.
 
 use std::collections::HashMap;
 

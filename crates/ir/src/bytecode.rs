@@ -187,41 +187,136 @@ pub struct Program {
     pub results: Vec<Reg>,
 }
 
+/// Chunk width of the vector tier: each register holds `LANES` grid
+/// points' worth of values in the chunked executor. 8 × f64 = one cache
+/// line / one AVX-512 register / two AVX2 registers — a fixed width the
+/// autovectoriser turns into straight SIMD without any reassociation.
+pub const LANES: usize = 8;
+
+/// The single source of truth for unary opcode semantics: both the scalar
+/// and the lane executor call this exact expression per element, which is
+/// also the expression the tree-walker evaluates. Changing it changes
+/// every tier at once — the zero-ULP differential contract cannot drift
+/// between tiers.
+#[inline(always)]
+pub fn un_op(op: UnOp, v: f64) -> f64 {
+    match op {
+        UnOp::Neg => -v,
+        UnOp::Abs => v.abs(),
+        UnOp::Sqrt => v.sqrt(),
+        UnOp::Exp => v.exp(),
+    }
+}
+
+/// Binary opcode semantics; see [`un_op`].
+#[inline(always)]
+pub fn bin_op(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Max => a.max(b),
+        BinOp::Min => a.min(b),
+        BinOp::Pow => a.powf(b),
+        BinOp::Copysign => a.copysign(b),
+    }
+}
+
 impl Program {
     /// Execute the straight-line code over a register file of at least
     /// [`Program::n_regs`] slots. Inputs must already sit in registers
     /// `0..inputs.len()`; results are left in [`Program::results`].
+    ///
+    /// This is the one-point opcode loop shared by every per-point
+    /// executor: the tree-walker's fast path, the chunked executor's tail,
+    /// and the FPGA simulator's stage plans all dispatch through here.
     #[inline]
     pub fn run(&self, regs: &mut [f64]) {
         for instr in &self.instrs {
             match *instr {
                 Instr::Const { dst, value } => regs[dst as usize] = value,
                 Instr::Unary { op, dst, src } => {
-                    let v = regs[src as usize];
-                    regs[dst as usize] = match op {
-                        UnOp::Neg => -v,
-                        UnOp::Abs => v.abs(),
-                        UnOp::Sqrt => v.sqrt(),
-                        UnOp::Exp => v.exp(),
-                    };
+                    regs[dst as usize] = un_op(op, regs[src as usize]);
                 }
                 Instr::Binary { op, dst, lhs, rhs } => {
-                    let a = regs[lhs as usize];
-                    let b = regs[rhs as usize];
-                    regs[dst as usize] = match op {
-                        BinOp::Add => a + b,
-                        BinOp::Sub => a - b,
-                        BinOp::Mul => a * b,
-                        BinOp::Div => a / b,
-                        BinOp::Max => a.max(b),
-                        BinOp::Min => a.min(b),
-                        BinOp::Pow => a.powf(b),
-                        BinOp::Copysign => a.copysign(b),
-                    };
+                    regs[dst as usize] = bin_op(op, regs[lhs as usize], regs[rhs as usize]);
                 }
                 Instr::Fma { dst, a, b, c } => {
                     regs[dst as usize] =
                         regs[a as usize].mul_add(regs[b as usize], regs[c as usize]);
+                }
+            }
+        }
+    }
+
+    /// Execute the program once over a structure-of-arrays register file:
+    /// `regs[r][l]` is register `r`'s value for lane (grid point) `l`.
+    ///
+    /// Each opcode applies [`un_op`]/[`bin_op`]/`mul_add` *elementwise per
+    /// lane* — the identical scalar expression [`Program::run`] uses, in
+    /// the identical instruction order. Lanes never interact (no shuffles,
+    /// no horizontal reductions, no reassociation across lanes), so lane
+    /// `l`'s result is bitwise what a scalar run at that point produces.
+    /// Operand lane arrays are copied by value before the destination is
+    /// written, so `dst == src` aliasing is handled exactly as in the
+    /// scalar loop (reads happen before the write).
+    #[inline]
+    pub fn run_lanes(&self, regs: &mut [[f64; LANES]]) {
+        for instr in &self.instrs {
+            match *instr {
+                Instr::Const { dst, value } => regs[dst as usize] = [value; LANES],
+                Instr::Unary { op, dst, src } => {
+                    let v = regs[src as usize];
+                    let d = &mut regs[dst as usize];
+                    // One dispatch per chunk, not per element: each arm
+                    // re-enters `un_op` with the opcode constant-folded,
+                    // so the lane loop vectorises without a per-lane
+                    // branch while the semantics stay single-sourced.
+                    macro_rules! lanes {
+                        ($op:expr) => {
+                            for l in 0..LANES {
+                                d[l] = un_op($op, v[l]);
+                            }
+                        };
+                    }
+                    match op {
+                        UnOp::Neg => lanes!(UnOp::Neg),
+                        UnOp::Abs => lanes!(UnOp::Abs),
+                        UnOp::Sqrt => lanes!(UnOp::Sqrt),
+                        UnOp::Exp => lanes!(UnOp::Exp),
+                    }
+                }
+                Instr::Binary { op, dst, lhs, rhs } => {
+                    let a = regs[lhs as usize];
+                    let b = regs[rhs as usize];
+                    let d = &mut regs[dst as usize];
+                    macro_rules! lanes {
+                        ($op:expr) => {
+                            for l in 0..LANES {
+                                d[l] = bin_op($op, a[l], b[l]);
+                            }
+                        };
+                    }
+                    match op {
+                        BinOp::Add => lanes!(BinOp::Add),
+                        BinOp::Sub => lanes!(BinOp::Sub),
+                        BinOp::Mul => lanes!(BinOp::Mul),
+                        BinOp::Div => lanes!(BinOp::Div),
+                        BinOp::Max => lanes!(BinOp::Max),
+                        BinOp::Min => lanes!(BinOp::Min),
+                        BinOp::Pow => lanes!(BinOp::Pow),
+                        BinOp::Copysign => lanes!(BinOp::Copysign),
+                    }
+                }
+                Instr::Fma { dst, a, b, c } => {
+                    let x = regs[a as usize];
+                    let y = regs[b as usize];
+                    let z = regs[c as usize];
+                    let d = &mut regs[dst as usize];
+                    for l in 0..LANES {
+                        d[l] = x[l].mul_add(y[l], z[l]);
+                    }
                 }
             }
         }
@@ -470,7 +565,6 @@ pub fn compile_apply(ctx: &Context, apply: OpId) -> IrResult<Program> {
         );
     }
     let rank = bounds.rank();
-    ir_ensure!(rank > 0, "bytecode: rank-0 apply unsupported");
 
     let block = ctx
         .entry_block(apply)
@@ -648,59 +742,111 @@ pub fn compile_apply(ctx: &Context, apply: OpId) -> IrResult<Program> {
 
 // ---- executing a compiled apply -----------------------------------------
 
-/// Execute a compiled `stencil.apply` over `store`, allocating and filling
-/// one result buffer per apply result. Returns the result buffer handles
-/// in result order.
-///
-/// Mirrors the tree-walker's `exec_stencil_apply` exactly: the iteration
-/// box is the result bounds, traversed row-major (last dimension fastest),
-/// so the k-th point is the k-th linear element of each result buffer.
-pub fn exec_apply(
-    ctx: &Context,
-    apply: OpId,
-    args: &[RtValue],
-    store: &mut Store,
+/// How [`exec_apply_with`] traverses the iteration box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyMode {
+    /// The PR 5 path: dispatch the whole program once per grid point.
+    /// Kept measurable so the bench harness can report the vector tier's
+    /// speedup over it (and CI can detect a silent fallback).
+    Scalar,
+    /// The vector tier: chunked structure-of-arrays execution over the
+    /// inner axis ([`LANES`] points per dispatch), optionally threaded
+    /// over the axis-0 slab partition ([`slab_partition`]) when
+    /// `threads > 1`. Bitwise-identical to `Scalar` by construction.
+    Chunked {
+        /// Worker threads for the axis-0 slab split (1 = run in place).
+        threads: usize,
+    },
+}
+
+impl Default for ApplyMode {
+    fn default() -> Self {
+        ApplyMode::Chunked { threads: 1 }
+    }
+}
+
+/// Split `n0` axis-0 rows into `parts` contiguous slabs, remainder rows
+/// going to the leading slabs — the same partition `core::scale` uses for
+/// multi-CU slabs, shared here so the threaded executor and the scale-out
+/// runner agree on ownership. Returns `parts` half-open `(start, end)`
+/// ranges (some empty when `parts > n0`).
+pub fn slab_partition(n0: i64, parts: usize) -> Vec<(i64, i64)> {
+    let base = n0 / parts as i64;
+    let remainder = n0 % parts as i64;
+    let mut slabs = Vec::with_capacity(parts);
+    let mut start = 0i64;
+    for p in 0..parts as i64 {
+        let end = start + base + i64::from(p < remainder);
+        slabs.push((start, end));
+        start = end;
+    }
+    slabs
+}
+
+/// A stencil-access input resolved against the store: register to fill,
+/// borrowed data, and the affine map from grid point to linear element.
+struct BufLoad<'a> {
+    reg: usize,
+    data: &'a [f64],
+    /// Row-major strides of the source buffer, one per grid dim. The
+    /// inner (last) stride is always 1: buffers and the iteration box
+    /// share rank and layout, which is what makes interior chunk loads
+    /// contiguous.
+    stride: Vec<i64>,
+    /// `point[d] + offset[d] - origin[d] = point[d] - sub[d]`.
+    sub: Vec<i64>,
+}
+
+impl BufLoad<'_> {
+    /// Linear element index of `point`.
+    #[inline]
+    fn lin(&self, point: &[i64]) -> i64 {
+        let mut lin = 0;
+        for d in 0..point.len() {
+            lin += (point[d] - self.sub[d]) * self.stride[d];
+        }
+        lin
+    }
+}
+
+/// A 1-D parameter input resolved against the store.
+struct ParamRead<'a> {
+    reg: usize,
+    data: &'a [f64],
+    dim: usize,
+    /// `data index = point[dim] - sub`.
+    sub: i64,
+}
+
+/// Inputs of a program resolved against concrete apply arguments.
+/// Borrowed buffer data is shared read-only, so one resolution can be
+/// executed from many threads.
+struct ResolvedInputs<'a> {
+    /// `(register, value)` for scalar operands — loop-invariant, filled
+    /// into a register file once before any point runs (inputs are
+    /// pinned, see [`ProgramBuilder::finish`]).
+    scalars: Vec<(usize, f64)>,
+    buf_loads: Vec<BufLoad<'a>>,
+    param_reads: Vec<ParamRead<'a>>,
+}
+
+/// Resolve and bounds-check every program input against the apply's
+/// arguments. The iteration box is a product of per-dim intervals, so
+/// checking both interval endpoints per dim bounds every point any
+/// executor will touch — all downstream loads are branch-free.
+fn resolve_inputs<'a>(
     prog: &Program,
-) -> IrResult<Vec<usize>> {
-    let results = ctx.results(apply).to_vec();
-    ir_ensure!(!results.is_empty(), "stencil.apply without results");
-    let bounds = ctx
-        .value_type(results[0])
-        .stencil_bounds()
-        .ok_or_else(|| ir_error!("stencil.apply result is not a stencil.temp"))?
-        .clone();
-    for &r in &results {
-        let rb = ctx
-            .value_type(r)
-            .stencil_bounds()
-            .ok_or_else(|| ir_error!("stencil.apply result is not a stencil.temp"))?;
-        ir_ensure!(*rb == bounds, "bytecode: apply results with differing bounds");
-    }
-    let rank = bounds.rank();
-    let lb = bounds.lb.clone();
-    let ub = bounds.ub.clone();
-    let extents = bounds.extents();
-    let n_points: usize = extents.iter().map(|&e| e.max(0) as usize).product();
-
-    let mut regs = vec![0.0f64; prog.n_regs as usize];
-
-    // Per-point buffer loads: (input register, data, shape, origin+offset
-    // fused into a per-dim subtrahend).
-    struct BufLoad<'a> {
-        reg: usize,
-        data: &'a [f64],
-        shape: Vec<i64>,
-        sub: Vec<i64>, // point[d] + offset[d] - origin[d] = point[d] - sub[d]
-    }
-    struct ParamRead<'a> {
-        reg: usize,
-        data: &'a [f64],
-        dim: usize,
-        sub: i64, // data index = point[dim] - sub
-    }
-    let mut buf_loads: Vec<BufLoad<'_>> = Vec::new();
-    let mut param_reads: Vec<ParamRead<'_>> = Vec::new();
-
+    args: &[RtValue],
+    store: &'a Store,
+    rank: usize,
+    lb: &[i64],
+    ub: &[i64],
+) -> IrResult<ResolvedInputs<'a>> {
+    let mut resolved = ResolvedInputs {
+        scalars: Vec::new(),
+        buf_loads: Vec::new(),
+        param_reads: Vec::new(),
+    };
     for (i, input) in prog.inputs.iter().enumerate() {
         match input {
             InputRef::Scalar { operand } => {
@@ -708,7 +854,7 @@ pub fn exec_apply(
                     .get(*operand as usize)
                     .ok_or_else(|| ir_error!("bytecode: operand index out of range"))?
                     .as_f64()?;
-                regs[i] = v;
+                resolved.scalars.push((i, v));
             }
             InputRef::Access { operand, offset } => {
                 let handle = args
@@ -720,9 +866,6 @@ pub fn exec_apply(
                     buf.shape.len() == rank && offset.len() == rank,
                     "bytecode: access rank mismatch"
                 );
-                // The iteration box is a product of per-dim intervals, so
-                // checking both interval endpoints per dim bounds every
-                // point the loop will touch.
                 for d in 0..rank {
                     let lo = lb[d] + offset[d] - buf.origin[d];
                     let hi = (ub[d] - 1) + offset[d] - buf.origin[d];
@@ -734,10 +877,14 @@ pub fn exec_apply(
                         buf.origin
                     );
                 }
-                buf_loads.push(BufLoad {
+                let mut stride = vec![1i64; rank];
+                for d in (0..rank.saturating_sub(1)).rev() {
+                    stride[d] = stride[d + 1] * buf.shape[d + 1];
+                }
+                resolved.buf_loads.push(BufLoad {
                     reg: i,
                     data: &buf.data,
-                    shape: buf.shape.clone(),
+                    stride,
                     sub: (0..rank).map(|d| buf.origin[d] - offset[d]).collect(),
                 });
             }
@@ -762,7 +909,7 @@ pub fn exec_apply(
                     lo >= 0 && hi < buf.shape[0],
                     "bytecode: parameter index out of bounds (dim {dim}, shift {shift})"
                 );
-                param_reads.push(ParamRead {
+                resolved.param_reads.push(ParamRead {
                     reg: i,
                     data: &buf.data,
                     dim,
@@ -774,35 +921,287 @@ pub fn exec_apply(
             }
         }
     }
+    Ok(resolved)
+}
 
-    let mut outs: Vec<Vec<f64>> = (0..results.len()).map(|_| vec![0.0; n_points]).collect();
-    if n_points > 0 && rank > 0 {
-        let mut point = lb.clone();
-        for k in 0..n_points {
-            for bl in &buf_loads {
-                let mut lin: i64 = 0;
-                for d in 0..rank {
-                    lin = lin * bl.shape[d] + (point[d] - bl.sub[d]);
-                }
-                regs[bl.reg] = bl.data[lin as usize];
-            }
-            for pr in &param_reads {
-                regs[pr.reg] = pr.data[(point[pr.dim] - pr.sub) as usize];
-            }
-            prog.run(&mut regs);
-            for (o, &r) in outs.iter_mut().zip(&prog.results) {
-                o[k] = regs[r as usize];
-            }
-            // Row-major odometer, last dimension fastest — the same order
-            // as `iter_box`.
-            let mut d = rank;
-            while d > 0 {
-                d -= 1;
-                point[d] += 1;
-                if point[d] < ub[d] {
-                    break;
-                }
+/// The per-point path: dispatch the program once per grid point over the
+/// sub-box with axis 0 restricted to rows `[lb[0]+r0, lb[0]+r1)` (the
+/// full box when `rank == 0`; `r0`/`r1` are then ignored). `outs[o]` is
+/// the slice of result `o` covering exactly this sub-box, indexed by the
+/// sub-box's own row-major linear order.
+///
+/// A rank-0 box is one point (the empty index), matching the
+/// tree-walker's `iter_box(&[], &[])`, so the program runs exactly once.
+fn run_points(
+    prog: &Program,
+    inputs: &ResolvedInputs<'_>,
+    rank: usize,
+    lb: &[i64],
+    ub: &[i64],
+    (r0, r1): (i64, i64),
+    outs: &mut [&mut [f64]],
+) {
+    let mut point = lb.to_vec();
+    let mut n_points: usize = 1;
+    if rank > 0 {
+        point[0] = lb[0] + r0;
+        n_points = ((r1 - r0).max(0) as usize)
+            * lb[1..]
+                .iter()
+                .zip(&ub[1..])
+                .map(|(&l, &u)| (u - l).max(0) as usize)
+                .product::<usize>();
+    }
+    let mut regs = vec![0.0f64; prog.n_regs as usize];
+    for &(r, v) in &inputs.scalars {
+        regs[r] = v;
+    }
+    for k in 0..n_points {
+        for bl in &inputs.buf_loads {
+            regs[bl.reg] = bl.data[bl.lin(&point) as usize];
+        }
+        for pr in &inputs.param_reads {
+            regs[pr.reg] = pr.data[(point[pr.dim] - pr.sub) as usize];
+        }
+        prog.run(&mut regs);
+        for (o, &r) in outs.iter_mut().zip(&prog.results) {
+            o[k] = regs[r as usize];
+        }
+        // Row-major odometer, last dimension fastest — the same order
+        // as `iter_box`. (Axis 0 never wraps: `k` runs out first.)
+        let mut d = rank;
+        while d > 0 {
+            d -= 1;
+            point[d] += 1;
+            if d > 0 && point[d] >= ub[d] {
                 point[d] = lb[d];
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The chunked path over one axis-0 slab (`rank >= 1`): all odometer and
+/// index bookkeeping happens once per *row* (a maximal inner-axis run);
+/// inside a row the interior is executed [`LANES`] points at a time with
+/// contiguous, branch-free lane loads, and the partial chunk at the end
+/// of the row — the row's halo against the chunk grid — falls back to the
+/// per-point loop via [`Program::run`].
+fn run_slab_chunked(
+    prog: &Program,
+    inputs: &ResolvedInputs<'_>,
+    rank: usize,
+    lb: &[i64],
+    ub: &[i64],
+    (r0, r1): (i64, i64),
+    outs: &mut [&mut [f64]],
+) {
+    debug_assert!(rank >= 1);
+    // Inner-axis geometry. For rank 1 the slab itself is the inner run.
+    let inner = rank - 1;
+    let (inner_lo, inner_n) = if rank == 1 {
+        (lb[0] + r0, (r1 - r0).max(0) as usize)
+    } else {
+        (lb[inner], (ub[inner] - lb[inner]).max(0) as usize)
+    };
+    if inner_n == 0 {
+        return;
+    }
+    let n_rows: usize = if rank == 1 {
+        1
+    } else {
+        ((r1 - r0).max(0) as usize)
+            * lb[1..inner]
+                .iter()
+                .zip(&ub[1..inner])
+                .map(|(&l, &u)| (u - l).max(0) as usize)
+                .product::<usize>()
+    };
+
+    let n_regs = prog.n_regs as usize;
+    let mut lane_regs: Vec<[f64; LANES]> = vec![[0.0; LANES]; n_regs];
+    let mut tail_regs: Vec<f64> = vec![0.0; n_regs];
+    for &(r, v) in &inputs.scalars {
+        lane_regs[r] = [v; LANES];
+        tail_regs[r] = v;
+    }
+
+    // Row cursor: the first point of the current row.
+    let mut point = lb.to_vec();
+    point[0] = lb[0] + r0;
+    point[inner] = inner_lo;
+    // Per-row linear base of every access (recomputed per row, constant
+    // +1 per inner step within the row).
+    let mut bases: Vec<i64> = vec![0; inputs.buf_loads.len()];
+    let interior = inner_n - inner_n % LANES;
+    let mut k = 0usize; // local linear output index of the row start
+    for _row in 0..n_rows {
+        for (base, bl) in bases.iter_mut().zip(&inputs.buf_loads) {
+            *base = bl.lin(&point);
+        }
+        // Row-invariant parameter lanes (axis != inner): splat once.
+        for pr in &inputs.param_reads {
+            if pr.dim != inner {
+                let v = pr.data[(point[pr.dim] - pr.sub) as usize];
+                lane_regs[pr.reg] = [v; LANES];
+                tail_regs[pr.reg] = v;
+            }
+        }
+        // Interior: whole chunks, contiguous loads, no per-point branches.
+        let mut j = 0usize;
+        while j < interior {
+            for (&base, bl) in bases.iter().zip(&inputs.buf_loads) {
+                let at = (base as usize) + j;
+                lane_regs[bl.reg].copy_from_slice(&bl.data[at..at + LANES]);
+            }
+            for pr in &inputs.param_reads {
+                if pr.dim == inner {
+                    let at = (inner_lo + j as i64 - pr.sub) as usize;
+                    lane_regs[pr.reg].copy_from_slice(&pr.data[at..at + LANES]);
+                }
+            }
+            prog.run_lanes(&mut lane_regs);
+            for (o, &r) in outs.iter_mut().zip(&prog.results) {
+                o[k + j..k + j + LANES].copy_from_slice(&lane_regs[r as usize]);
+            }
+            j += LANES;
+        }
+        // Halo of the chunk grid: the row's trailing partial chunk, one
+        // point at a time through the scalar opcode loop.
+        while j < inner_n {
+            for (&base, bl) in bases.iter().zip(&inputs.buf_loads) {
+                tail_regs[bl.reg] = bl.data[(base as usize) + j];
+            }
+            for pr in &inputs.param_reads {
+                if pr.dim == inner {
+                    tail_regs[pr.reg] = pr.data[(inner_lo + j as i64 - pr.sub) as usize];
+                }
+            }
+            prog.run(&mut tail_regs);
+            for (o, &r) in outs.iter_mut().zip(&prog.results) {
+                o[k + j] = tail_regs[r as usize];
+            }
+            j += 1;
+        }
+        k += inner_n;
+        // Advance the row cursor: odometer over the outer dims only.
+        let mut d = inner;
+        while d > 0 {
+            d -= 1;
+            point[d] += 1;
+            if d > 0 && point[d] >= ub[d] {
+                point[d] = lb[d];
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Execute a compiled `stencil.apply` over `store` with an explicit
+/// [`ApplyMode`], allocating and filling one result buffer per apply
+/// result. Returns the result buffer handles in result order.
+///
+/// Mirrors the tree-walker's `exec_stencil_apply` exactly: the iteration
+/// box is the result bounds, traversed row-major (last dimension fastest),
+/// so the k-th point is the k-th linear element of each result buffer.
+/// Every mode produces bitwise-identical buffers; `Chunked` only changes
+/// how many points are in flight per opcode dispatch and which thread
+/// owns which axis-0 slab.
+pub fn exec_apply_with(
+    ctx: &Context,
+    apply: OpId,
+    args: &[RtValue],
+    store: &mut Store,
+    prog: &Program,
+    mode: ApplyMode,
+) -> IrResult<Vec<usize>> {
+    let results = ctx.results(apply).to_vec();
+    ir_ensure!(!results.is_empty(), "stencil.apply without results");
+    let bounds = ctx
+        .value_type(results[0])
+        .stencil_bounds()
+        .ok_or_else(|| ir_error!("stencil.apply result is not a stencil.temp"))?
+        .clone();
+    for &r in &results {
+        let rb = ctx
+            .value_type(r)
+            .stencil_bounds()
+            .ok_or_else(|| ir_error!("stencil.apply result is not a stencil.temp"))?;
+        ir_ensure!(*rb == bounds, "bytecode: apply results with differing bounds");
+    }
+    let rank = bounds.rank();
+    let lb = bounds.lb.clone();
+    let ub = bounds.ub.clone();
+    // Normalise degenerate bounds once: a non-positive extent means an
+    // empty box, and the *normalised* extents are what both the element
+    // count and the allocated buffer shape use — a degenerate apply gets
+    // empty zero-shaped buffers, never a negative shape that would wrap
+    // on a later `as usize` index.
+    let extents: Vec<i64> = bounds.extents().iter().map(|&e| e.max(0)).collect();
+    let n_points: usize = extents.iter().map(|&e| e as usize).product();
+
+    let inputs = resolve_inputs(prog, args, store, rank, &lb, &ub)?;
+    let mut outs: Vec<Vec<f64>> = (0..results.len()).map(|_| vec![0.0; n_points]).collect();
+
+    if n_points > 0 {
+        let full = (0i64, if rank == 0 { 0 } else { extents[0] });
+        let mut out_slices: Vec<&mut [f64]> = outs.iter_mut().map(|v| v.as_mut_slice()).collect();
+        match mode {
+            ApplyMode::Scalar => {
+                run_points(prog, &inputs, rank, &lb, &ub, full, &mut out_slices);
+            }
+            ApplyMode::Chunked { .. } if rank == 0 => {
+                // One point, nothing to chunk or split; the per-point path
+                // runs the program exactly once (like the tree-walker).
+                run_points(prog, &inputs, rank, &lb, &ub, full, &mut out_slices);
+            }
+            ApplyMode::Chunked { threads } => {
+                let rows = extents[0];
+                let row_elems = n_points / rows.max(1) as usize;
+                // Cap the fan-out twice: a thread per row at most, and
+                // at least ~2k points per worker — below that, spawn and
+                // join cost more than the slab's compute and threading
+                // makes small applies *slower*.
+                let threads = threads
+                    .clamp(1, rows.max(1) as usize)
+                    .min(1 + n_points / 2048);
+                if threads <= 1 {
+                    run_slab_chunked(prog, &inputs, rank, &lb, &ub, full, &mut out_slices);
+                } else {
+                    // Split every result into disjoint per-slab ranges
+                    // (axis 0 is outermost, so a slab's rows are one
+                    // contiguous linear range) and hand each slab to a
+                    // scoped worker. Inputs are shared read-only.
+                    let slabs = slab_partition(rows, threads);
+                    let mut per_slab: Vec<(usize, Vec<&mut [f64]>)> = Vec::new();
+                    let mut rest = out_slices;
+                    for (si, &(s, e)) in slabs.iter().enumerate() {
+                        let len = ((e - s).max(0) as usize) * row_elems;
+                        let mut mine = Vec::with_capacity(rest.len());
+                        for r in rest.iter_mut() {
+                            let (a, b) = std::mem::take(r).split_at_mut(len);
+                            mine.push(a);
+                            *r = b;
+                        }
+                        if len > 0 {
+                            per_slab.push((si, mine));
+                        }
+                    }
+                    let (prog_ref, inputs_ref) = (&*prog, &inputs);
+                    let (lb_ref, ub_ref) = (&lb[..], &ub[..]);
+                    std::thread::scope(|scope| {
+                        for (si, mut mine) in per_slab {
+                            let (s, e) = slabs[si];
+                            scope.spawn(move || {
+                                run_slab_chunked(
+                                    prog_ref, inputs_ref, rank, lb_ref, ub_ref, (s, e), &mut mine,
+                                );
+                            });
+                        }
+                    });
+                }
             }
         }
     }
@@ -818,6 +1217,18 @@ pub fn exec_apply(
         })
         .collect();
     Ok(handles)
+}
+
+/// Execute a compiled `stencil.apply` with the default [`ApplyMode`]
+/// (chunked, single-threaded). See [`exec_apply_with`].
+pub fn exec_apply(
+    ctx: &Context,
+    apply: OpId,
+    args: &[RtValue],
+    store: &mut Store,
+    prog: &Program,
+) -> IrResult<Vec<usize>> {
+    exec_apply_with(ctx, apply, args, store, prog, ApplyMode::default())
 }
 
 #[cfg(test)]
@@ -905,16 +1316,16 @@ mod tests {
     }
 
     /// Hand-build `out[i] = in[i-1] + in[i+1]` (the interpreter test's
-    /// apply), compile it, and check the fast path is bitwise-identical to
-    /// the tree-walker.
-    fn build_sum_module() -> (Context, OpId, OpId) {
+    /// apply) over `[0, n)`, compile it, and check the fast path is
+    /// bitwise-identical to the tree-walker.
+    fn build_sum_module_n(n: i64) -> (Context, OpId, OpId) {
         let mut ctx = Context::new();
         let module = ctx.create_op("builtin.module", vec![], vec![], Default::default());
         let mr = ctx.add_region(module);
         let mb = ctx.add_block(mr, vec![]);
-        let field_ty = Type::stencil_field(StencilBounds::new(vec![-1], vec![9]), Type::F64);
-        let temp_in = Type::stencil_temp(StencilBounds::new(vec![-1], vec![9]), Type::F64);
-        let temp_out = Type::stencil_temp(StencilBounds::new(vec![0], vec![8]), Type::F64);
+        let field_ty = Type::stencil_field(StencilBounds::new(vec![-1], vec![n + 1]), Type::F64);
+        let temp_in = Type::stencil_temp(StencilBounds::new(vec![-1], vec![n + 1]), Type::F64);
+        let temp_out = Type::stencil_temp(StencilBounds::new(vec![0], vec![n]), Type::F64);
 
         let mut b = OpBuilder::at_block_end(&mut ctx, mb);
         let mut fattrs = std::collections::BTreeMap::new();
@@ -963,20 +1374,31 @@ mod tests {
         let mut b = OpBuilder::at_block_end(&mut ctx, fb);
         let store = b.build("stencil.store", vec![apply_res, fout], vec![]);
         b.build("func.return", vec![], vec![]);
-        ctx.set_attr(store, "bounds", Attribute::IndexArray(vec![0, 8]));
+        ctx.set_attr(store, "bounds", Attribute::IndexArray(vec![0, n]));
         (ctx, module, apply)
     }
 
-    fn run_sum(ctx: &Context, module: OpId, plans: HashMap<OpId, std::sync::Arc<Program>>) -> Vec<f64> {
+    fn build_sum_module() -> (Context, OpId, OpId) {
+        build_sum_module_n(8)
+    }
+
+    fn run_sum_n(
+        ctx: &Context,
+        module: OpId,
+        plans: HashMap<OpId, std::sync::Arc<Program>>,
+        mode: ApplyMode,
+        n: i64,
+    ) -> Vec<f64> {
         let mut no = NoExtern;
         let mut m = Machine::new(ctx, module, &mut no);
         m.apply_plans = plans;
-        let mut in_buf = Buffer::zeroed(vec![10], vec![-1]);
-        for i in -1..9 {
+        m.apply_mode = mode;
+        let mut in_buf = Buffer::zeroed(vec![n + 2], vec![-1]);
+        for i in -1..n + 1 {
             in_buf.store(&[i], 0.1 * i as f64 + 0.3).unwrap();
         }
         let in_h = m.store.alloc(in_buf);
-        let out_h = m.store.alloc(Buffer::zeroed(vec![10], vec![-1]));
+        let out_h = m.store.alloc(Buffer::zeroed(vec![n + 2], vec![-1]));
         m.call(
             "main",
             &[
@@ -987,6 +1409,10 @@ mod tests {
         )
         .unwrap();
         m.store.get(out_h).unwrap().data.clone()
+    }
+
+    fn run_sum(ctx: &Context, module: OpId, plans: HashMap<OpId, std::sync::Arc<Program>>) -> Vec<f64> {
+        run_sum_n(ctx, module, plans, ApplyMode::default(), 8)
     }
 
     #[test]
@@ -1036,5 +1462,165 @@ mod tests {
         plans.insert(apply, std::sync::Arc::new(prog));
         let mutated = run_sum(&ctx, module, plans);
         assert_ne!(tree, mutated);
+    }
+
+    #[test]
+    fn every_mode_is_bitwise_identical_at_chunk_boundaries() {
+        // The chunk-grid seams: one short row (tail only), exactly one
+        // chunk (no tail), one chunk + 1, two chunks + 1, and a larger
+        // mixed case. Scalar, chunked, and chunked+threaded must all
+        // reproduce the tree-walker bit-for-bit at each of them.
+        let lanes = LANES as i64;
+        for n in [lanes - 1, lanes, lanes + 1, 2 * lanes + 1, 5 * lanes + 3] {
+            let (ctx, module, apply) = build_sum_module_n(n);
+            let prog = std::sync::Arc::new(compile_apply(&ctx, apply).unwrap());
+            let tree = run_sum_n(&ctx, module, HashMap::new(), ApplyMode::Scalar, n);
+            for mode in [
+                ApplyMode::Scalar,
+                ApplyMode::Chunked { threads: 1 },
+                ApplyMode::Chunked { threads: 3 },
+            ] {
+                let mut plans = HashMap::new();
+                plans.insert(apply, std::sync::Arc::clone(&prog));
+                let got = run_sum_n(&ctx, module, plans, mode, n);
+                assert_eq!(tree.len(), got.len());
+                for (i, (a, b)) in tree.iter().zip(&got).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "n={n} mode={mode:?} element {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Build an apply with no grid dimensions at all: result bounds
+    /// `[] → []`, body `out = w * w` from one scalar operand.
+    fn build_rank0_apply() -> (Context, OpId) {
+        let mut ctx = Context::new();
+        let module = ctx.create_op("builtin.module", vec![], vec![], Default::default());
+        let mr = ctx.add_region(module);
+        let mb = ctx.add_block(mr, vec![]);
+        let temp_out = Type::stencil_temp(StencilBounds::new(vec![], vec![]), Type::F64);
+        let mut b = OpBuilder::at_block_end(&mut ctx, mb);
+        let mut fattrs = std::collections::BTreeMap::new();
+        fattrs.insert("sym_name".to_string(), Attribute::string("main"));
+        let (_f, fb) = b.build_with_region("func.func", vec![], vec![], fattrs, vec![Type::F64]);
+        let w = ctx.block_args(fb)[0];
+        let mut b = OpBuilder::at_block_end(&mut ctx, fb);
+        let (apply, ab) = b.build_with_region(
+            "stencil.apply",
+            vec![w],
+            vec![temp_out],
+            Default::default(),
+            vec![Type::F64],
+        );
+        let warg = ctx.block_args(ab)[0];
+        let mut ib = OpBuilder::at_block_end(&mut ctx, ab);
+        let sq = ib.build_value("arith.mulf", vec![warg, warg], Type::F64);
+        ib.build("stencil.return", vec![sq], vec![]);
+        (ctx, apply)
+    }
+
+    #[test]
+    fn rank0_apply_runs_the_program_once() {
+        // Regression: a rank-0 iteration box is *one* point (the empty
+        // index — the tree-walker's `iter_box(&[], &[])` yields exactly
+        // it), but the executor's old `n_points > 0 && rank > 0` guard
+        // skipped the loop entirely and returned a zero-filled buffer
+        // without ever running the program. (Compilation also rejected
+        // rank 0 outright, hiding the dead path.)
+        let (ctx, apply) = build_rank0_apply();
+        let prog = compile_apply(&ctx, apply).expect("rank-0 apply must compile");
+        let mut store = Store::new();
+        for mode in [
+            ApplyMode::Scalar,
+            ApplyMode::Chunked { threads: 1 },
+            ApplyMode::Chunked { threads: 4 },
+        ] {
+            let handles =
+                exec_apply_with(&ctx, apply, &[RtValue::F64(1.5)], &mut store, &prog, mode)
+                    .unwrap();
+            assert_eq!(handles.len(), 1);
+            let buf = store.get(handles[0]).unwrap();
+            assert_eq!(buf.shape, Vec::<i64>::new());
+            assert_eq!(buf.data.len(), 1, "rank-0 box is one point");
+            assert_eq!(
+                buf.data[0].to_bits(),
+                (1.5f64 * 1.5).to_bits(),
+                "mode {mode:?}: the program must actually run"
+            );
+        }
+    }
+
+    /// Build an apply over an *empty* box (`lb > ub`, extent −3), body
+    /// `out = w` — no accesses, so input resolution has nothing to
+    /// bounds-check against the degenerate box.
+    fn build_empty_box_apply() -> (Context, OpId) {
+        let mut ctx = Context::new();
+        let module = ctx.create_op("builtin.module", vec![], vec![], Default::default());
+        let mr = ctx.add_region(module);
+        let mb = ctx.add_block(mr, vec![]);
+        let temp_out = Type::stencil_temp(StencilBounds::new(vec![5], vec![2]), Type::F64);
+        let mut b = OpBuilder::at_block_end(&mut ctx, mb);
+        let mut fattrs = std::collections::BTreeMap::new();
+        fattrs.insert("sym_name".to_string(), Attribute::string("main"));
+        let (_f, fb) = b.build_with_region("func.func", vec![], vec![], fattrs, vec![Type::F64]);
+        let w = ctx.block_args(fb)[0];
+        let mut b = OpBuilder::at_block_end(&mut ctx, fb);
+        let (apply, ab) = b.build_with_region(
+            "stencil.apply",
+            vec![w],
+            vec![temp_out],
+            Default::default(),
+            vec![Type::F64],
+        );
+        let warg = ctx.block_args(ab)[0];
+        let mut ib = OpBuilder::at_block_end(&mut ctx, ab);
+        ib.build("stencil.return", vec![warg], vec![]);
+        (ctx, apply)
+    }
+
+    #[test]
+    fn empty_box_apply_yields_consistent_empty_buffers() {
+        // Regression: result buffers used to be allocated with the raw
+        // extents as their shape while the element count clamped negative
+        // extents to zero — an empty `data` under a shape claiming −3
+        // elements, which wraps to huge indices the moment anything
+        // computes a linear offset from it. The normalised contract:
+        // empty box ⇒ shape is the *clamped* extents and data is empty.
+        let (ctx, apply) = build_empty_box_apply();
+        let prog = compile_apply(&ctx, apply).unwrap();
+        let mut store = Store::new();
+        for mode in [ApplyMode::Scalar, ApplyMode::Chunked { threads: 2 }] {
+            let handles =
+                exec_apply_with(&ctx, apply, &[RtValue::F64(2.0)], &mut store, &prog, mode)
+                    .unwrap();
+            let buf = store.get(handles[0]).unwrap();
+            assert_eq!(buf.shape, vec![0], "mode {mode:?}: shape must be clamped");
+            assert!(buf.data.is_empty(), "mode {mode:?}");
+            assert_eq!(buf.shape.iter().product::<i64>() as usize, buf.data.len());
+        }
+    }
+
+    #[test]
+    fn slab_partition_covers_and_balances() {
+        for (n0, parts) in [(10, 3), (8, 8), (3, 5), (0, 2), (64, 7), (1, 1)] {
+            let slabs = slab_partition(n0, parts);
+            assert_eq!(slabs.len(), parts);
+            assert_eq!(slabs.first().unwrap().0, 0);
+            assert_eq!(slabs.last().unwrap().1, n0);
+            let mut total = 0;
+            for w in slabs.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "slabs must be contiguous");
+            }
+            for &(s, e) in &slabs {
+                assert!(e >= s);
+                assert!(e - s <= n0 / parts as i64 + 1, "heights differ by at most one");
+                total += e - s;
+            }
+            assert_eq!(total, n0);
+        }
     }
 }

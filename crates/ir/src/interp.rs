@@ -117,9 +117,14 @@ pub struct Buffer {
 impl Buffer {
     /// A zero-filled buffer of the given logical shape and origin.
     pub fn zeroed(shape: Vec<i64>, origin: Vec<i64>) -> Self {
-        let n: i64 = shape.iter().product();
+        // Normalise per dimension: any non-positive extent means an empty
+        // buffer, and the stored shape must agree with the (empty) data —
+        // a negative extent must never survive into `shape`, where a later
+        // `as usize` index computation would wrap.
+        let shape: Vec<i64> = shape.iter().map(|&e| e.max(0)).collect();
+        let n: usize = shape.iter().map(|&e| e as usize).product();
         Self {
-            data: vec![0.0; n.max(0) as usize],
+            data: vec![0.0; n],
             shape,
             origin,
         }
@@ -157,6 +162,66 @@ impl Buffer {
         self.data[off] = value;
         Ok(())
     }
+
+    /// Copy the box `[lb, ub)` from `src` into `self`, element for
+    /// element — semantically identical to a per-point `load`/`store`
+    /// loop, executed as one contiguous `copy_from_slice` per inner-axis
+    /// row (both buffers are row-major, so a row is contiguous in each).
+    /// Bounds are validated once per dimension up front: the box is a
+    /// product of intervals, so the two interval endpoints bound every
+    /// point the copy will touch. Dimensions with `ub <= lb` make the
+    /// box empty and the copy a no-op.
+    pub fn copy_box_from(&mut self, src: &Buffer, lb: &[i64], ub: &[i64]) -> IrResult<()> {
+        let rank = self.shape.len();
+        ir_ensure!(
+            src.shape.len() == rank && lb.len() == rank && ub.len() == rank,
+            "copy_box_from rank mismatch: {lb:?}/{ub:?} vs shape {:?}",
+            self.shape
+        );
+        if lb.iter().zip(ub).any(|(&l, &u)| u <= l) {
+            return Ok(());
+        }
+        for buf in [&*self, src] {
+            for d in 0..rank {
+                let lo = lb[d] - buf.origin[d];
+                let hi = (ub[d] - 1) - buf.origin[d];
+                ir_ensure!(
+                    lo >= 0 && hi < buf.shape[d],
+                    "box {lb:?}..{ub:?} out of bounds (dim {d}, shape {:?}, origin {:?})",
+                    buf.shape,
+                    buf.origin
+                );
+            }
+        }
+        if rank == 0 {
+            self.data[0] = src.data[0];
+            return Ok(());
+        }
+        let row_len = (ub[rank - 1] - lb[rank - 1]) as usize;
+        let n_rows: usize = lb[..rank - 1]
+            .iter()
+            .zip(&ub[..rank - 1])
+            .map(|(&l, &u)| (u - l) as usize)
+            .product();
+        let mut point = lb.to_vec();
+        for _ in 0..n_rows.max(1) {
+            // `offset` re-checks per element, but only once per row here.
+            let d0 = self.offset(&point)?;
+            let s0 = src.offset(&point)?;
+            self.data[d0..d0 + row_len].copy_from_slice(&src.data[s0..s0 + row_len]);
+            let mut d = rank - 1;
+            while d > 0 {
+                d -= 1;
+                point[d] += 1;
+                if d > 0 && point[d] >= ub[d] {
+                    point[d] = lb[d];
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The interpreter's memory: a table of buffers addressed by handle.
@@ -189,6 +254,29 @@ impl Store {
         self.buffers
             .get_mut(handle)
             .ok_or_else(|| ir_error!("invalid buffer handle {handle}"))
+    }
+
+    /// Borrow `src` shared and `dst` mutable at once (for region copies
+    /// that would otherwise have to clone the source). Errors when the
+    /// handles alias — a region copy between a buffer and itself is
+    /// always a bug in this IR (temps are never stored back to
+    /// themselves).
+    pub fn pair_mut(&mut self, src: usize, dst: usize) -> IrResult<(&Buffer, &mut Buffer)> {
+        ir_ensure!(
+            src != dst,
+            "aliasing region copy: source and destination are buffer {src}"
+        );
+        ir_ensure!(
+            src < self.buffers.len() && dst < self.buffers.len(),
+            "invalid buffer handle {}",
+            src.max(dst)
+        );
+        let (a, b) = self.buffers.split_at_mut(src.max(dst));
+        if src < dst {
+            Ok((&a[src], &mut b[0]))
+        } else {
+            Ok((&b[0], &mut a[dst]))
+        }
     }
 
     /// Number of buffers allocated.
@@ -262,6 +350,10 @@ pub struct Machine<'c, 'e> {
     /// plans (see [`crate::bytecode`]) installs them here and the machine
     /// uses them transparently, with identical (bitwise) results.
     pub apply_plans: HashMap<OpId, std::sync::Arc<crate::bytecode::Program>>,
+    /// How installed apply plans are executed (scalar vs chunked vs
+    /// chunked+threaded). Bitwise-identical results in every mode; see
+    /// [`crate::bytecode::ApplyMode`].
+    pub apply_mode: crate::bytecode::ApplyMode,
 }
 
 impl<'c, 'e> Machine<'c, 'e> {
@@ -283,6 +375,7 @@ impl<'c, 'e> Machine<'c, 'e> {
             stencil_index: Vec::new(),
             fuel: u64::MAX,
             apply_plans: HashMap::new(),
+            apply_mode: crate::bytecode::ApplyMode::default(),
         }
     }
 
@@ -733,11 +826,8 @@ impl<'c, 'e> Machine<'c, 'e> {
                     .ok_or_else(|| ir_error!("stencil.store without bounds"))?
                     .to_vec();
                 let (lb, ub) = split_bounds(&bounds)?;
-                let src_buf = self.store.get(src)?.clone();
-                let dst_buf = self.store.get_mut(dst)?;
-                for index in iter_box(&lb, &ub) {
-                    dst_buf.store(&index, src_buf.load(&index)?)?;
-                }
+                let (src_buf, dst_buf) = self.store.pair_mut(src, dst)?;
+                dst_buf.copy_box_from(src_buf, &lb, &ub)?;
                 Ok(Some(vec![]))
             }
             "stencil.apply" => {
@@ -792,7 +882,14 @@ impl<'c, 'e> Machine<'c, 'e> {
         // point. Bitwise-identical by construction (same ops, same order).
         if !self.apply_plans.is_empty() {
             if let Some(plan) = self.apply_plans.get(&op).cloned() {
-                let handles = crate::bytecode::exec_apply(self.ctx, op, args, &mut self.store, &plan)?;
+                let handles = crate::bytecode::exec_apply_with(
+                    self.ctx,
+                    op,
+                    args,
+                    &mut self.store,
+                    &plan,
+                    self.apply_mode,
+                )?;
                 let results = self.ctx.results(op).to_vec();
                 ir_ensure!(
                     results.len() == handles.len(),
