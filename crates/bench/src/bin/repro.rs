@@ -27,6 +27,15 @@
 //!           [--cus N] [--steps T] [--serial] [--check-parallel]
 //!                        # scale-out execution: time-march over parallel
 //!                        # CU slabs with halo exchange; per-CU report
+//! repro serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]
+//!             [--capacity N]
+//!                        # compile server: newline-delimited JSON over
+//!                        # TCP, persistent cache, runs until killed
+//! repro loadgen [--addr HOST:PORT] [--clients N] [--requests M]
+//!               [--unique-keys K] [--min-warm-hit-rate F]
+//!               [--min-cold-hit-rate F] [--out PATH]
+//!                        # two-phase load test against a live server;
+//!                        # exit 1 on any gate violation
 //! ```
 
 use std::time::Duration;
@@ -128,6 +137,192 @@ fn check(ok: bool) -> &'static str {
     }
 }
 
+/// Flush both standard streams, then exit. `process::exit` skips `Drop`
+/// handlers, so anything still buffered (stdout is block-buffered when
+/// piped — exactly the CI case) would be lost right when the diagnostic
+/// matters most.
+fn exit_flushed(code: i32) -> ! {
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    let _ = std::io::stderr().flush();
+    std::process::exit(code);
+}
+
+/// `repro serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]
+/// [--capacity N]`
+fn serve_cmd(args: &[String]) {
+    use shmls_serve::server::{serve, ServerConfig};
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7456".to_string(),
+        ..Default::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => config.addr = a.clone(),
+                None => {
+                    eprintln!("repro serve: `--addr` needs host:port");
+                    exit_flushed(2);
+                }
+            },
+            "--cache-dir" => match it.next() {
+                Some(d) => config.cache_dir = Some(std::path::PathBuf::from(d)),
+                None => {
+                    eprintln!("repro serve: `--cache-dir` needs a directory");
+                    exit_flushed(2);
+                }
+            },
+            "--workers" | "--capacity" => {
+                let which = arg.clone();
+                match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => {
+                        if which == "--workers" {
+                            config.workers = n;
+                        } else {
+                            config.capacity = n;
+                        }
+                    }
+                    _ => {
+                        eprintln!("repro serve: `{which}` needs a positive integer");
+                        exit_flushed(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("repro serve: unknown flag `{other}`");
+                exit_flushed(2);
+            }
+        }
+    }
+    let handle = match serve(config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("repro serve: cannot bind `{}`: {e}", config.addr);
+            exit_flushed(1);
+        }
+    };
+    println!("shmls-serve listening on {}", handle.local_addr());
+    match &config.cache_dir {
+        Some(dir) => println!("  cache dir: {}", dir.display()),
+        None => println!("  cache: in-memory only (cold on every start)"),
+    }
+    // The banner must reach a piped supervisor before this process
+    // blocks forever (CI polls the log for the listening line).
+    {
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+    }
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `repro loadgen [--addr HOST:PORT] [--clients N] [--requests M]
+/// [--unique-keys K] [--min-warm-hit-rate F] [--min-cold-hit-rate F]
+/// [--out PATH]`
+fn loadgen_cmd(args: &[String]) {
+    use shmls_serve::loadgen::{run, LoadgenConfig};
+    let mut config = LoadgenConfig::default();
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => config.addr = a.clone(),
+                None => {
+                    eprintln!("repro loadgen: `--addr` needs host:port");
+                    exit_flushed(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("repro loadgen: `--out` needs a path");
+                    exit_flushed(2);
+                }
+            },
+            "--clients" | "--requests" | "--unique-keys" => {
+                let which = arg.clone();
+                match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => match which.as_str() {
+                        "--clients" => config.clients = n,
+                        "--requests" => config.requests = n,
+                        _ => config.unique_keys = n,
+                    },
+                    _ => {
+                        eprintln!("repro loadgen: `{which}` needs a positive integer");
+                        exit_flushed(2);
+                    }
+                }
+            }
+            "--min-warm-hit-rate" | "--min-cold-hit-rate" => {
+                let which = arg.clone();
+                match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                    Some(f) if (0.0..=1.0).contains(&f) => {
+                        if which == "--min-warm-hit-rate" {
+                            config.min_warm_hit_rate = f;
+                        } else {
+                            config.min_cold_hit_rate = f;
+                        }
+                    }
+                    _ => {
+                        eprintln!("repro loadgen: `{which}` needs a rate in [0, 1]");
+                        exit_flushed(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("repro loadgen: unknown flag `{other}`");
+                exit_flushed(2);
+            }
+        }
+    }
+
+    let report = match run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro loadgen: cannot reach `{}`: {e}", config.addr);
+            exit_flushed(1);
+        }
+    };
+    println!(
+        "loadgen against {}: {} clients, {} requests/phase, {} unique keys",
+        config.addr, config.clients, config.requests, config.unique_keys
+    );
+    for (name, phase) in [("cold", &report.cold), ("warm", &report.warm)] {
+        println!(
+            "  {name}: {} ok / {} requests, {} miss {} hit {} disk-hit {} coalesced, \
+             hit rate {:.3}, {:.1} req/s ({:.1} compiles/s), p50 {:.3} ms, p99 {:.3} ms",
+            phase.requests - phase.errors,
+            phase.requests,
+            phase.misses,
+            phase.memory_hits,
+            phase.disk_hits,
+            phase.coalesced,
+            phase.hit_rate(),
+            phase.requests_per_s(),
+            phase.compiles_per_s(),
+            phase.p50_us as f64 / 1e3,
+            phase.p99_us as f64 / 1e3,
+        );
+    }
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, report.to_json().pretty()) {
+            eprintln!("repro loadgen: cannot write `{path}`: {e}");
+            exit_flushed(1);
+        }
+        println!("wrote {path}");
+    }
+    if !report.passed() {
+        for failure in &report.gate_failures {
+            println!("  GATE FAIL: {failure}");
+        }
+        exit_flushed(1);
+    }
+    println!("loadgen gate: PASS");
+}
+
 /// `repro bench [--quick] [--out PATH]`
 fn bench(args: &[String]) {
     use shmls_bench::telemetry::run_bench;
@@ -141,12 +336,12 @@ fn bench(args: &[String]) {
                 Some(p) => out_path = p.clone(),
                 None => {
                     eprintln!("repro bench: `--out` needs a path");
-                    std::process::exit(2);
+                    exit_flushed(2);
                 }
             },
             other => {
                 eprintln!("repro bench: unknown flag `{other}`");
-                std::process::exit(2);
+                exit_flushed(2);
             }
         }
     }
@@ -154,13 +349,13 @@ fn bench(args: &[String]) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("repro bench: {e}");
-            std::process::exit(1);
+            exit_flushed(1);
         }
     };
     let body = report.to_json();
     if let Err(e) = std::fs::write(&out_path, &body) {
         eprintln!("repro bench: cannot write `{out_path}`: {e}");
-        std::process::exit(1);
+        exit_flushed(1);
     }
     println!(
         "Benchmark ({} mode, rev {}, {} {}, {} cpus)",
@@ -195,32 +390,32 @@ fn compare_cmd(args: &[String]) {
                     },
                     _ => {
                         eprintln!("repro compare: `{which}` needs a non-negative number");
-                        std::process::exit(2);
+                        exit_flushed(2);
                     }
                 }
             }
             other if !other.starts_with("--") => paths.push(arg),
             other => {
                 eprintln!("repro compare: unknown flag `{other}`");
-                std::process::exit(2);
+                exit_flushed(2);
             }
         }
     }
     let [base_path, new_path] = paths.as_slice() else {
         eprintln!("usage: repro compare <baseline.json> <new.json> [--tolerance PCT] [--time-tolerance PCT] [--time-floor MS] [--markdown]");
-        std::process::exit(2);
+        exit_flushed(2);
     };
     let load = |path: &str| match std::fs::read_to_string(path) {
         Ok(text) => match BenchReport::from_json(&text) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("repro compare: `{path}`: {e}");
-                std::process::exit(2);
+                exit_flushed(2);
             }
         },
         Err(e) => {
             eprintln!("repro compare: cannot read `{path}`: {e}");
-            std::process::exit(2);
+            exit_flushed(2);
         }
     };
     let base = load(base_path);
@@ -229,7 +424,7 @@ fn compare_cmd(args: &[String]) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("repro compare: {e}");
-            std::process::exit(2);
+            exit_flushed(2);
         }
     };
     if markdown {
@@ -238,7 +433,7 @@ fn compare_cmd(args: &[String]) {
         print!("{}", report.render_text());
     }
     if report.regressions() > 0 {
-        std::process::exit(1);
+        exit_flushed(1);
     }
 }
 
@@ -256,7 +451,7 @@ fn fuzz_cmd(args: &[String]) {
             Some(n) => n,
             None => {
                 eprintln!("repro fuzz: `{flag}` needs a non-negative integer");
-                std::process::exit(2);
+                exit_flushed(2);
             }
         }
     };
@@ -271,27 +466,27 @@ fn fuzz_cmd(args: &[String]) {
                 Some(e) => engines.push(e),
                 None => {
                     eprintln!("repro fuzz: `--engine` needs one of cpu|hls|threaded|cycle");
-                    std::process::exit(2);
+                    exit_flushed(2);
                 }
             },
             "--inject" => match it.next().and_then(|v| Fault::parse(v)) {
                 Some(f) => opts.check.inject = Some(f),
                 None => {
                     eprintln!("repro fuzz: `--inject` needs offset-flip or op-swap");
-                    std::process::exit(2);
+                    exit_flushed(2);
                 }
             },
             "--corpus" => match it.next() {
                 Some(dir) => opts.corpus_dir = Some(std::path::PathBuf::from(dir)),
                 None => {
                     eprintln!("repro fuzz: `--corpus` needs a directory");
-                    std::process::exit(2);
+                    exit_flushed(2);
                 }
             },
             "--no-scale" => opts.scale = false,
             other => {
                 eprintln!("repro fuzz: unknown flag `{other}`");
-                std::process::exit(2);
+                exit_flushed(2);
             }
         }
     }
@@ -327,7 +522,7 @@ fn fuzz_cmd(args: &[String]) {
         }
     );
     if !summary.clean() {
-        std::process::exit(1);
+        exit_flushed(1);
     }
 }
 
@@ -355,7 +550,7 @@ fn run_cmd(args: &[String]) {
                         "repro run: `--kernel` needs one of {}",
                         bench_kernel_names().join("|")
                     );
-                    std::process::exit(2);
+                    exit_flushed(2);
                 }
             },
             "--grid" => {
@@ -367,7 +562,7 @@ fn run_cmd(args: &[String]) {
                     Some([i, j, k]) if *i > 0 && *j > 0 && *k > 0 => grid = [*i, *j, *k],
                     _ => {
                         eprintln!("repro run: `--grid` needs three positive sizes, e.g. 16,14,10");
-                        std::process::exit(2);
+                        exit_flushed(2);
                     }
                 }
             }
@@ -383,7 +578,7 @@ fn run_cmd(args: &[String]) {
                     }
                     None => {
                         eprintln!("repro run: `{which}` needs a non-negative integer");
-                        std::process::exit(2);
+                        exit_flushed(2);
                     }
                 }
             }
@@ -391,7 +586,7 @@ fn run_cmd(args: &[String]) {
             "--check-parallel" => check_parallel = true,
             other => {
                 eprintln!("repro run: unknown flag `{other}`");
-                std::process::exit(2);
+                exit_flushed(2);
             }
         }
     }
@@ -400,7 +595,7 @@ fn run_cmd(args: &[String]) {
         Ok(k) => k,
         Err(e) => {
             eprintln!("repro run: parsing {kname}: {e}");
-            std::process::exit(1);
+            exit_flushed(1);
         }
     };
     let data = kernel_data(&kname, grid);
@@ -416,7 +611,7 @@ fn run_cmd(args: &[String]) {
             Ok((_, report)) => report,
             Err(e) => {
                 eprintln!("repro run: {e}");
-                std::process::exit(1);
+                exit_flushed(1);
             }
         }
     };
@@ -487,7 +682,7 @@ fn run_cmd(args: &[String]) {
         );
         if parallel_wall > limit {
             eprintln!("repro run: parallel execution violated `{rule}`");
-            std::process::exit(1);
+            exit_flushed(1);
         }
     }
 }
@@ -511,13 +706,15 @@ fn main() {
         "compare" => compare_cmd(&args[1..]),
         "fuzz" => fuzz_cmd(&args[1..]),
         "run" => run_cmd(&args[1..]),
+        "serve" => serve_cmd(&args[1..]),
+        "loadgen" => loadgen_cmd(&args[1..]),
         "json" => {
             let path = args.get(1).map(String::as_str).unwrap_or("results.json");
             let results = evaluate_all(&eval);
             let body = serde_json::to_string_pretty(&results).expect("results serialise");
             if let Err(e) = std::fs::write(path, body) {
                 eprintln!("repro: cannot write `{path}`: {e}");
-                std::process::exit(1);
+                exit_flushed(1);
             }
             println!("wrote {path}");
         }
@@ -540,9 +737,9 @@ fn main() {
         other => {
             eprintln!(
                 "unknown command `{other}`; expected figure4|figure5|figure6|table1|table2|\
-                 ablation|dse|cycles|ii|validate|bench|compare|fuzz|run|json|all"
+                 ablation|dse|cycles|ii|validate|bench|compare|fuzz|run|serve|loadgen|json|all"
             );
-            std::process::exit(2);
+            exit_flushed(2);
         }
     }
 }

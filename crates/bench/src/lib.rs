@@ -14,7 +14,7 @@
 
 #![warn(missing_docs)]
 
-pub mod json;
+pub use shmls_ir::json;
 pub mod telemetry;
 
 use std::collections::BTreeMap;

@@ -508,6 +508,81 @@ pub fn run_bench(quick: bool) -> Result<BenchReport, String> {
         );
     }
 
+    // --- compile-as-a-service: a real server under real load --------------
+    // An in-process `shmls-serve` instance (fresh disk-persistent cache in
+    // a scratch directory) measured through actual TCP sockets by the
+    // loadgen — the same path `repro loadgen` and the serve-loadtest CI
+    // job exercise. `error_rate` and `warm_hit_rate` are deterministic
+    // service invariants (any error or cache regression trips the tight
+    // gate); throughput and latency ride the loose wall-clock tolerance.
+    {
+        let scratch = std::env::temp_dir().join(format!(
+            "shmls-bench-serve-{}-{}",
+            std::process::id(),
+            if quick { "quick" } else { "full" }
+        ));
+        let _ = std::fs::remove_dir_all(&scratch);
+        let handle = shmls_serve::server::serve(shmls_serve::server::ServerConfig {
+            cache_dir: Some(scratch.clone()),
+            ..Default::default()
+        })
+        .map_err(|e| format!("starting the compile server: {e}"))?;
+        let config = shmls_serve::loadgen::LoadgenConfig {
+            addr: handle.local_addr().to_string(),
+            clients: 8,
+            requests: if quick { 32 } else { 64 },
+            unique_keys: if quick { 4 } else { 8 },
+            ..Default::default()
+        };
+        let report = shmls_serve::loadgen::run(&config)
+            .map_err(|e| format!("loadgen against the compile server: {e}"))?;
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&scratch);
+        if !report.passed() {
+            return Err(format!(
+                "compile-server loadgen gate failed: {}",
+                report.gate_failures.join("; ")
+            ));
+        }
+        let total_requests = (report.cold.requests + report.warm.requests).max(1);
+        let total_errors = report.cold.errors + report.warm.errors;
+        metrics.insert(
+            "serve/loadgen/cold_compiles_per_s".to_string(),
+            Metric {
+                value: report.cold.compiles_per_s(),
+                unit: "compiles/s".to_string(),
+                better: Better::Higher,
+                noise: Noise::WallClock,
+            },
+        );
+        metrics.insert(
+            "serve/loadgen/warm_requests_per_s".to_string(),
+            Metric {
+                value: report.warm.requests_per_s(),
+                unit: "req/s".to_string(),
+                better: Better::Higher,
+                noise: Noise::WallClock,
+            },
+        );
+        metrics.insert(
+            "serve/loadgen/warm_hit_rate".to_string(),
+            Metric {
+                value: report.warm.hit_rate(),
+                unit: "ratio".to_string(),
+                better: Better::Higher,
+                noise: Noise::Deterministic,
+            },
+        );
+        metrics.insert(
+            "serve/loadgen/warm_p99_ms".to_string(),
+            wall_ms(report.warm.p99_us as f64 / 1e3),
+        );
+        metrics.insert(
+            "serve/loadgen/error_rate".to_string(),
+            det(total_errors as f64 / total_requests as f64, "ratio"),
+        );
+    }
+
     Ok(BenchReport {
         schema_version: SCHEMA_VERSION,
         mode: if quick { "quick" } else { "full" }.to_string(),

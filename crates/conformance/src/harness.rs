@@ -17,8 +17,8 @@ use shmls_fpga_sim::cycle::simulate;
 use shmls_fpga_sim::design::DesignDescriptor;
 use shmls_frontend::{FieldKind, KernelDef};
 use shmls_ir::attributes::Attribute;
-use shmls_ir::interp::Buffer;
 use shmls_ir::bytecode::ApplyMode;
+use shmls_ir::interp::Buffer;
 use stencil_hmls::runner::{
     run_cpu, run_hls, run_hls_threaded, run_stencil, run_stencil_bytecode_with, KernelData,
 };
@@ -540,7 +540,7 @@ fn check_scale(
             let expect = expect_buf.load(&p).unwrap_or(f64::NAN);
             let got = got_buf.load(&p).unwrap_or(f64::NAN);
             let d = ulp_distance(expect, got);
-            if d > max_ulps && worst.as_ref().map_or(true, |(w, ..)| d > *w) {
+            if d > max_ulps && worst.as_ref().is_none_or(|(w, ..)| d > *w) {
                 worst = Some((d, name.clone(), p, expect, got));
             }
         }
@@ -614,7 +614,7 @@ fn compare_outputs(
             let expect = expect_buf.load(&p).unwrap_or(f64::NAN);
             let got = got_buf.load(&p).unwrap_or(f64::NAN);
             let d = ulp_distance(expect, got);
-            if d > max_ulps && worst.as_ref().map_or(true, |(w, ..)| d > *w) {
+            if d > max_ulps && worst.as_ref().is_none_or(|(w, ..)| d > *w) {
                 worst = Some((d, name.clone(), p, expect, got));
             }
         }

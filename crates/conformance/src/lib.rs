@@ -18,7 +18,7 @@
 //!   detects real miscompiles; a scale dimension
 //!   ([`harness::ScaleConfig`]) additionally time-marches each kernel
 //!   over parallel CU slabs and compares against the iterated oracle,
-//! - [`shrink`] — minimizes a failing kernel (dropping computes and
+//! - [`mod@shrink`] — minimizes a failing kernel (dropping computes and
 //!   fields, shrinking grids and halos, simplifying expressions) while
 //!   the failure kind reproduces,
 //! - [`corpus`] — persists minimized reproducers as committed `.knl`

@@ -66,7 +66,14 @@ fn check_bytecode_bitwise(seed: u64, case: u64, data_seed: u64) -> usize {
     let threaded_simd =
         run_stencil_bytecode_with(&compiled, &data, ApplyMode::Chunked { threads: 3 })
             .expect("bytecode tier (chunked+threaded)");
-    assert_bitwise(seed, case, "simd-threaded", &oracle, &threaded_simd, &kernel.grid);
+    assert_bitwise(
+        seed,
+        case,
+        "simd-threaded",
+        &oracle,
+        &threaded_simd,
+        &kernel.grid,
+    );
 
     // One layer down: sequential Kahn engine (tree-walks stage bodies)
     // vs the threaded engine (executes planned stages as bytecode).
@@ -134,9 +141,8 @@ fn check_chunk_seam(source: &str, label: &str, max_threads: usize) {
     let data = make_data(&kernel, 5);
     let oracle = run_stencil(&compiled, &data).expect("oracle");
     for threads in 1..=max_threads {
-        let got =
-            run_stencil_bytecode_with(&compiled, &data, ApplyMode::Chunked { threads })
-                .unwrap_or_else(|e| panic!("{label} threads={threads}: {e}"));
+        let got = run_stencil_bytecode_with(&compiled, &data, ApplyMode::Chunked { threads })
+            .unwrap_or_else(|e| panic!("{label} threads={threads}: {e}"));
         let lb = vec![0i64; kernel.grid.len()];
         for (name, expect) in &oracle {
             let out = &got[name];

@@ -70,6 +70,60 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// How a cached-compilation request was satisfied.
+///
+/// The compile server reports this per request, and the load generator's
+/// exactly-once accounting depends on the distinction: for a key set with
+/// duplicates, the number of [`Disposition::Miss`] outcomes is the number
+/// of *actual compilations*, and every duplicate must come back as a
+/// [`Disposition::MemoryHit`], [`Disposition::DiskHit`] or
+/// [`Disposition::Coalesced`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Served from the in-memory tier.
+    MemoryHit,
+    /// Served from the disk tier (a warm restart; see
+    /// [`crate::persist::PersistentCache`]). [`CompileCache`] itself never
+    /// returns this — only the persistent wrapper does.
+    DiskHit,
+    /// Not cached anywhere: this request ran the compiler.
+    Miss,
+    /// A single-flight follower: another request was already compiling
+    /// the same key, and this one received the leader's design without
+    /// compiling.
+    Coalesced,
+}
+
+impl Disposition {
+    /// Stable wire/metric name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Disposition::MemoryHit => "hit",
+            Disposition::DiskHit => "disk-hit",
+            Disposition::Miss => "miss",
+            Disposition::Coalesced => "coalesced",
+        }
+    }
+
+    /// Whether the request was served without waiting on a compilation
+    /// it triggered (misses compile; coalesced followers wait on the
+    /// leader's compile but do not run one).
+    pub fn compiled(&self) -> bool {
+        matches!(self, Disposition::Miss)
+    }
+
+    /// Whether this was a plain cache hit (memory or disk).
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Disposition::MemoryHit | Disposition::DiskHit)
+    }
+}
+
+impl std::fmt::Display for Disposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Cache occupancy and traffic counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -262,6 +316,20 @@ impl CompileCache {
         kernel: &KernelDef,
         opts: &CompileOptions,
     ) -> IrResult<(Arc<CompiledKernel>, bool)> {
+        self.get_or_compile_traced(kernel, opts)
+            .map(|(compiled, disposition)| (compiled, !disposition.compiled()))
+    }
+
+    /// [`Self::get_or_compile`], but reporting *how* the request was
+    /// served: a memory hit, the compiling miss, or a coalesced
+    /// single-flight follower. The compile server uses this to attach a
+    /// cache disposition to every response; the boolean form above
+    /// collapses hit and coalesced (both "did not compile").
+    pub fn get_or_compile_traced(
+        &self,
+        kernel: &KernelDef,
+        opts: &CompileOptions,
+    ) -> IrResult<(Arc<CompiledKernel>, Disposition)> {
         let key = Self::key(kernel, opts);
         enum Role {
             Leader(Arc<Pending>),
@@ -271,7 +339,7 @@ impl CompileCache {
             let mut inner = self.inner.lock().expect("cache poisoned");
             if let Some(hit) = inner.map.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok((Arc::clone(hit), true));
+                return Ok((Arc::clone(hit), Disposition::MemoryHit));
             }
             match inner.in_flight.get(&key) {
                 Some(slot) => Role::Follower(Arc::clone(slot)),
@@ -308,7 +376,7 @@ impl CompileCache {
                 };
                 *slot.done.lock().expect("pending slot poisoned") = Some(for_followers);
                 slot.cv.notify_all();
-                result.map(|c| (c, false))
+                result.map(|c| (c, Disposition::Miss))
             }
             Role::Follower(slot) => {
                 let mut done = slot.done.lock().expect("pending slot poisoned");
@@ -318,7 +386,7 @@ impl CompileCache {
                 match done.as_ref().expect("checked above") {
                     Ok(compiled) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        Ok((Arc::clone(compiled), true))
+                        Ok((Arc::clone(compiled), Disposition::Coalesced))
                     }
                     Err(msg) => Err(ir_error!("single-flight leader failed: {msg}")),
                 }
@@ -596,6 +664,79 @@ mod tests {
                 "all threads must share one compiled design"
             );
         }
+    }
+
+    #[test]
+    fn dispositions_distinguish_miss_hit_and_coalesced() {
+        let cache = CompileCache::new();
+        let (_, d1) = cache.get_or_compile_traced(&kernel(6), &opts()).unwrap();
+        let (_, d2) = cache.get_or_compile_traced(&kernel(6), &opts()).unwrap();
+        assert_eq!(d1, Disposition::Miss);
+        assert_eq!(d2, Disposition::MemoryHit);
+        assert!(d1.compiled() && !d2.compiled());
+        assert!(!d1.is_hit() && d2.is_hit());
+        assert_eq!(d1.as_str(), "miss");
+        assert_eq!(Disposition::Coalesced.as_str(), "coalesced");
+        assert_eq!(Disposition::DiskHit.as_str(), "disk-hit");
+    }
+
+    #[test]
+    fn eviction_race_still_compiles_each_key_exactly_once() {
+        // Capacity 1, so every insertion evicts the previous entry —
+        // including, potentially, a design that racing same-key requests
+        // are still being served. An in-progress key lives in the
+        // single-flight table (not the FIFO map), so eviction must never
+        // cause a second compilation of a key whose leader is mid-flight:
+        // followers take the design from the leader's published slot, not
+        // from the (possibly already-evicted) map entry.
+        const RACERS: usize = 6;
+        const CHURN_KEYS: i64 = 4;
+        let cache = Arc::new(CompileCache::with_capacity(1));
+        let barrier = Arc::new(std::sync::Barrier::new(RACERS + 1));
+        let racers: Vec<_> = (0..RACERS)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_compile_traced(&kernel(13), &opts()).unwrap()
+                })
+            })
+            .collect();
+        // Churn thread: keeps inserting distinct keys so the FIFO slot
+        // turns over while the racers' key is in flight.
+        let churn = {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for n0 in 20..20 + CHURN_KEYS {
+                    cache.get_or_compile_traced(&kernel(n0), &opts()).unwrap();
+                }
+            })
+        };
+        let results: Vec<_> = racers.into_iter().map(|r| r.join().unwrap()).collect();
+        churn.join().unwrap();
+
+        // Exactly one racer compiled key 13; everyone else coalesced onto
+        // it or hit the map, and all six share one design.
+        let compiles = results.iter().filter(|(_, d)| d.compiled()).count();
+        assert_eq!(compiles, 1, "evicted in-flight key must compile once");
+        let first = &results[0].0;
+        for (design, d) in &results {
+            assert!(Arc::ptr_eq(first, design), "racers must share one design");
+            assert!(matches!(
+                d,
+                Disposition::Miss | Disposition::MemoryHit | Disposition::Coalesced
+            ));
+        }
+        let s = cache.stats();
+        assert_eq!(
+            s.misses,
+            1 + CHURN_KEYS as u64,
+            "misses = one per distinct key, never more"
+        );
+        assert_eq!(s.entries, 1, "capacity-1 FIFO holds exactly one design");
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //! - [`driver`] — end-to-end compilation entry points.
 //! - [`cache`] — content-addressed compile cache (kernel source +
 //!   compile-option digest), shared by the scale-out runners.
+//! - [`persist`] — the disk-persistent tier behind the compile server:
+//!   checksummed, atomically written design records that make restarts
+//!   warm ([`persist::PersistentCache`]).
 //! - [`scale`] — scale-out execution: parallel compute units,
 //!   time-marching with halo exchange, and the aggregated
 //!   [`scale::MultiCuReport`].
@@ -75,17 +78,19 @@ pub mod fpp;
 pub mod fuse;
 pub mod hmls;
 pub mod llvm_lowering;
+pub mod persist;
 pub mod runner;
 pub mod scale;
 pub mod shift_buffer;
 pub mod split;
 pub mod synthesis_report;
 
-pub use cache::{fnv1a, global_cache, CacheStats, CompileCache, Fnv64};
+pub use cache::{fnv1a, global_cache, CacheStats, CompileCache, Disposition, Fnv64};
 pub use canonicalize::CanonicalizePass;
 pub use driver::{compile, compile_kernel, CompileOptions, CompiledKernel, TargetPath};
 pub use fuse::FusePass;
 pub use hmls::{stencil_to_hls, HmlsOptions, HmlsOutput, HmlsReport};
+pub use persist::{DesignRecord, DesignSummary, DiskStore, PersistentCache, ServeStats};
 pub use scale::{
     feedback_pairs, partition, run_hls_multi_cu_report, run_time_marched, run_time_marched_with,
     time_march_reference, CuReport, HaloFault, MarchOptions, MultiCuReport,

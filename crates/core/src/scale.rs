@@ -480,16 +480,15 @@ fn run_all_cus(
     serial: bool,
     panic_cu: Option<usize>,
 ) -> IrResult<Vec<(BTreeMap<String, Buffer>, StreamStats, Duration)>> {
-    let run_one = |cu: usize,
-                   s: &CuState|
-     -> IrResult<(BTreeMap<String, Buffer>, StreamStats, Duration)> {
-        if panic_cu == Some(cu) {
-            panic!("injected fault in compute unit {cu}");
-        }
-        let t0 = Instant::now();
-        let (out, stats) = run_hls(&s.compiled, &s.data)?;
-        Ok((out, stats, t0.elapsed()))
-    };
+    let run_one =
+        |cu: usize, s: &CuState| -> IrResult<(BTreeMap<String, Buffer>, StreamStats, Duration)> {
+            if panic_cu == Some(cu) {
+                panic!("injected fault in compute unit {cu}");
+            }
+            let t0 = Instant::now();
+            let (out, stats) = run_hls(&s.compiled, &s.data)?;
+            Ok((out, stats, t0.elapsed()))
+        };
     if serial || states.len() == 1 {
         return states
             .iter()

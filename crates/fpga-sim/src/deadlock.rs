@@ -216,7 +216,10 @@ mod tests {
         let s = r.blocked_stream(&r.stages[0]).unwrap();
         assert_eq!(s.stream, 0);
         let text = r.to_string();
-        assert!(text.contains("blocked popping stream 0 (0/4 queued)"), "{text}");
+        assert!(
+            text.contains("blocked popping stream 0 (0/4 queued)"),
+            "{text}"
+        );
     }
 
     /// Declared depth 0 means the stream can never hold anything: by the

@@ -365,8 +365,14 @@ fn try_plan_stage(ctx: &Context, stage: OpId) -> IrResult<StagePlan> {
             }
             "arith.negf" | "math.absf" | "math.sqrt" | "math.exp" => {
                 let src = float_use(
-                    ctx, loop_body, &mut builder, &mut floats, &read_slot, &mut plan.scalars,
-                    &mut scalar_slot, operands[0],
+                    ctx,
+                    loop_body,
+                    &mut builder,
+                    &mut floats,
+                    &read_slot,
+                    &mut plan.scalars,
+                    &mut scalar_slot,
+                    operands[0],
                 )?;
                 let opc = match name.as_str() {
                     "arith.negf" => UnOp::Neg,
@@ -380,12 +386,24 @@ fn try_plan_stage(ctx: &Context, stage: OpId) -> IrResult<StagePlan> {
             "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.maximumf"
             | "arith.minimumf" | "math.powf" | "math.copysign" => {
                 let lhs = float_use(
-                    ctx, loop_body, &mut builder, &mut floats, &read_slot, &mut plan.scalars,
-                    &mut scalar_slot, operands[0],
+                    ctx,
+                    loop_body,
+                    &mut builder,
+                    &mut floats,
+                    &read_slot,
+                    &mut plan.scalars,
+                    &mut scalar_slot,
+                    operands[0],
                 )?;
                 let rhs = float_use(
-                    ctx, loop_body, &mut builder, &mut floats, &read_slot, &mut plan.scalars,
-                    &mut scalar_slot, operands[1],
+                    ctx,
+                    loop_body,
+                    &mut builder,
+                    &mut floats,
+                    &read_slot,
+                    &mut plan.scalars,
+                    &mut scalar_slot,
+                    operands[1],
                 )?;
                 let opc = match name.as_str() {
                     "arith.addf" => BinOp::Add,
@@ -403,8 +421,14 @@ fn try_plan_stage(ctx: &Context, stage: OpId) -> IrResult<StagePlan> {
             "math.fma" => {
                 let mut arg = |v| {
                     float_use(
-                        ctx, loop_body, &mut builder, &mut floats, &read_slot,
-                        &mut plan.scalars, &mut scalar_slot, v,
+                        ctx,
+                        loop_body,
+                        &mut builder,
+                        &mut floats,
+                        &read_slot,
+                        &mut plan.scalars,
+                        &mut scalar_slot,
+                        v,
                     )
                 };
                 let (a, b2, c2) = (arg(operands[0])?, arg(operands[1])?, arg(operands[2])?);
@@ -707,10 +731,7 @@ mod tests {
             io.queues[0].push_back(RtValue::F64(i as f64 + 0.5));
         }
         run_stage_plan(&plan, &env, &store, &mut io).unwrap();
-        let out: Vec<f64> = io.queues[1]
-            .iter()
-            .map(|v| v.as_f64().unwrap())
-            .collect();
+        let out: Vec<f64> = io.queues[1].iter().map(|v| v.as_f64().unwrap()).collect();
         assert_eq!(out, vec![1.25, 3.25, 5.25, 7.25]);
     }
 

@@ -625,7 +625,8 @@ pub fn compile_apply(ctx: &Context, apply: OpId) -> IrResult<Program> {
                 let dim = ctx
                     .attr(op, "dim")
                     .and_then(Attribute::as_int)
-                    .ok_or_else(|| ir_error!("stencil.index without dim"))? as usize;
+                    .ok_or_else(|| ir_error!("stencil.index without dim"))?
+                    as usize;
                 ir_ensure!(dim < rank, "stencil.index dim {dim} out of range");
                 ints.insert(ctx.result(op, 0), IntExpr::Index(dim));
             }
@@ -681,10 +682,7 @@ pub fn compile_apply(ctx: &Context, apply: OpId) -> IrResult<Program> {
                     .and_then(Attribute::as_index_array)
                     .ok_or_else(|| ir_error!("stencil.access without offset"))?
                     .to_vec();
-                ir_ensure!(
-                    offset.len() == rank,
-                    "stencil.access offset rank mismatch"
-                );
+                ir_ensure!(offset.len() == rank, "stencil.access offset rank mismatch");
                 let r = b.input(InputRef::Access {
                     operand: u16::try_from(pos)
                         .map_err(|_| ir_error!("bytecode: operand index overflow"))?,
@@ -802,8 +800,8 @@ impl BufLoad<'_> {
     #[inline]
     fn lin(&self, point: &[i64]) -> i64 {
         let mut lin = 0;
-        for d in 0..point.len() {
-            lin += (point[d] - self.sub[d]) * self.stride[d];
+        for ((&p, &sub), &stride) in point.iter().zip(&self.sub).zip(&self.stride) {
+            lin += (p - sub) * stride;
         }
         lin
     }
@@ -1129,7 +1127,10 @@ pub fn exec_apply_with(
             .value_type(r)
             .stencil_bounds()
             .ok_or_else(|| ir_error!("stencil.apply result is not a stencil.temp"))?;
-        ir_ensure!(*rb == bounds, "bytecode: apply results with differing bounds");
+        ir_ensure!(
+            *rb == bounds,
+            "bytecode: apply results with differing bounds"
+        );
     }
     let rank = bounds.rank();
     let lb = bounds.lb.clone();
@@ -1189,14 +1190,20 @@ pub fn exec_apply_with(
                             per_slab.push((si, mine));
                         }
                     }
-                    let (prog_ref, inputs_ref) = (&*prog, &inputs);
+                    let (prog_ref, inputs_ref) = (prog, &inputs);
                     let (lb_ref, ub_ref) = (&lb[..], &ub[..]);
                     std::thread::scope(|scope| {
                         for (si, mut mine) in per_slab {
                             let (s, e) = slabs[si];
                             scope.spawn(move || {
                                 run_slab_chunked(
-                                    prog_ref, inputs_ref, rank, lb_ref, ub_ref, (s, e), &mut mine,
+                                    prog_ref,
+                                    inputs_ref,
+                                    rank,
+                                    lb_ref,
+                                    ub_ref,
+                                    (s, e),
+                                    &mut mine,
                                 );
                             });
                         }
@@ -1411,7 +1418,11 @@ mod tests {
         m.store.get(out_h).unwrap().data.clone()
     }
 
-    fn run_sum(ctx: &Context, module: OpId, plans: HashMap<OpId, std::sync::Arc<Program>>) -> Vec<f64> {
+    fn run_sum(
+        ctx: &Context,
+        module: OpId,
+        plans: HashMap<OpId, std::sync::Arc<Program>>,
+    ) -> Vec<f64> {
         run_sum_n(ctx, module, plans, ApplyMode::default(), 8)
     }
 
@@ -1617,7 +1628,10 @@ mod tests {
             }
             for &(s, e) in &slabs {
                 assert!(e >= s);
-                assert!(e - s <= n0 / parts as i64 + 1, "heights differ by at most one");
+                assert!(
+                    e - s <= n0 / parts as i64 + 1,
+                    "heights differ by at most one"
+                );
                 total += e - s;
             }
             assert_eq!(total, n0);

@@ -1,11 +1,14 @@
-//! Minimal, dependency-free JSON reader/writer for `BENCH.json`.
+//! Minimal, dependency-free JSON reader/writer.
 //!
-//! The telemetry schema is a single small file format that this crate
-//! owns end to end, and the regression tooling (`repro compare`, CI)
-//! must parse files written by *older* revisions of the harness — so the
-//! round-trip is implemented here in full rather than delegated, keeping
-//! the on-disk format under this crate's control and the harness free of
-//! any serialisation dependency.
+//! Two subsystems speak JSON formats this workspace owns end to end: the
+//! telemetry schema (`BENCH.json`, written and gated by `shmls-bench`)
+//! and the compile server's newline-delimited wire protocol
+//! (`shmls-serve`). Both must parse documents written by *older*
+//! revisions of their counterpart — so the round-trip is implemented
+//! here in full rather than delegated, keeping the formats under this
+//! workspace's control and their crates free of any serialisation
+//! dependency. It lives in `shmls-ir` because that is the dependency
+//! root every consumer already shares.
 
 use std::fmt;
 
@@ -117,6 +120,47 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Print on a single line with no trailing newline — the form a
+    /// newline-delimited protocol frame requires. Control characters in
+    /// strings are escaped by the writer, so the output is guaranteed to
+    /// contain no literal newline bytes.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&format_number(*n)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -498,6 +542,20 @@ mod tests {
         let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
         assert_eq!(v.as_str(), Some("\u{1F600}"));
         assert!(Json::parse("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let v = Json::Obj(vec![
+            ("id".into(), Json::Num(7.0)),
+            ("msg".into(), Json::Str("two\nlines".into())),
+            ("xs".into(), Json::Arr(vec![Json::Num(1.0), Json::Null])),
+            ("o".into(), Json::Obj(vec![])),
+        ]);
+        let line = v.compact();
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(Json::parse(&line).unwrap(), v);
+        assert_eq!(line, r#"{"id":7,"msg":"two\nlines","xs":[1,null],"o":{}}"#);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod bytecode;
 pub mod error;
 pub mod interp;
 pub mod ir;
+pub mod json;
 pub mod parser;
 pub mod pass;
 pub mod printer;

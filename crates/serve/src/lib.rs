@@ -1,0 +1,53 @@
+//! # shmls-serve — compile-as-a-service for stencil-hmls
+//!
+//! A long-running compilation server: clients send canonical DSL source
+//! plus compile options over a newline-delimited JSON protocol on TCP
+//! and receive the compiled design's fingerprint, structural summary,
+//! per-pass timings and cache disposition. The server is backed by
+//! [`stencil_hmls::PersistentCache`], so concurrent requests for one
+//! key compile exactly once (single-flight) and a restarted server
+//! answers repeat keys from disk without recompiling.
+//!
+//! Three modules, one per layer:
+//!
+//! - [`protocol`] — the wire format: [`protocol::Request`] /
+//!   [`protocol::Response`] and their hand-rolled JSON codecs (the
+//!   workspace's [`shmls_ir::json::Json`]; no serialisation
+//!   dependency).
+//! - [`server`] — the TCP service: std `TcpListener`, a bounded worker
+//!   pool, per-request panic isolation, cooperative shutdown.
+//! - [`loadgen`] — the load generator and gate: N concurrent clients
+//!   replaying a mixed cold/warm key set, reporting throughput, hit
+//!   rates and latency percentiles, and failing loudly when the
+//!   exactly-once or hit-rate invariants do not hold.
+//!
+//! ## Example
+//!
+//! ```
+//! use shmls_serve::loadgen::{self, LoadgenConfig};
+//! use shmls_serve::server::{serve, ServerConfig};
+//!
+//! let handle = serve(ServerConfig::default()).unwrap();
+//! let report = loadgen::run(&LoadgenConfig {
+//!     addr: handle.local_addr().to_string(),
+//!     clients: 2,
+//!     requests: 8,
+//!     unique_keys: 2,
+//!     ..Default::default()
+//! })
+//! .unwrap();
+//! assert_eq!(report.gate_failures, Vec::<String>::new());
+//! assert_eq!(report.cold.misses, 2); // each unique key compiled once
+//! assert_eq!(report.warm.hit_rate(), 1.0);
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use loadgen::{LoadgenConfig, LoadgenReport, PhaseReport};
+pub use protocol::{ErrorKind, Request, RequestOptions, Response};
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,471 @@
+//! The load generator and its gate.
+//!
+//! Replays a mixed cold/warm key set against a live server from N
+//! concurrent client connections and checks the service's contract, not
+//! just its liveness:
+//!
+//! - **Zero errors.** Every request must come back `ok` — protocol,
+//!   compile and internal errors all fail the gate.
+//! - **Exactly-once compilation.** The cold phase sends `requests`
+//!   requests over `unique_keys` distinct kernels, so duplicates race
+//!   from different connections; each key may report disposition `miss`
+//!   at most once — hits, disk hits and coalesced followers must
+//!   account for every other response.
+//! - **Warm hit rate.** A second pass over the same key set must be
+//!   served from cache at `min_warm_hit_rate` or better. Against a
+//!   restarted server, `min_cold_hit_rate` gates the *first* pass too,
+//!   proving the disk tier made the restart warm.
+//! - **Deterministic designs.** Every response for one key must report
+//!   the same design fingerprint.
+//!
+//! Gate violations are collected into [`LoadgenReport::gate_failures`]
+//! rather than panicking, so callers (the `repro loadgen` CLI, CI) can
+//! print all of them and exit nonzero.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Instant;
+
+use shmls_ir::json::Json;
+
+use crate::protocol::{Request, RequestOptions, Response};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Concurrent client connections per phase.
+    pub clients: usize,
+    /// Total requests per phase, spread round-robin over the clients.
+    pub requests: usize,
+    /// Distinct kernels in the key set; `requests > unique_keys` makes
+    /// duplicates race.
+    pub unique_keys: usize,
+    /// Minimum hit rate the warm phase must reach.
+    pub min_warm_hit_rate: f64,
+    /// Minimum hit rate the *cold* phase must reach — 0 for a fresh
+    /// server; set ≥ 0.9 when replaying against a restarted server to
+    /// prove its persisted cache answers without recompiling.
+    pub min_cold_hit_rate: f64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7456".to_string(),
+            clients: 8,
+            requests: 64,
+            unique_keys: 8,
+            min_warm_hit_rate: 0.9,
+            min_cold_hit_rate: 0.0,
+        }
+    }
+}
+
+/// The canonical DSL source for key index `k` — structurally identical
+/// kernels distinguished by grid extent, so every key compiles fast but
+/// hashes (and fingerprints) distinctly.
+pub fn kernel_source(k: usize) -> String {
+    format!(
+        "kernel load{k} {{ grid({}, 8) halo 1 field a : input field b : output \
+         compute b {{ b = 0.25 * (a[-1,0] + a[1,0] + a[0,-1] + a[0,1]) }} }}",
+        8 + 2 * k
+    )
+}
+
+/// One phase's aggregate counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseReport {
+    /// Requests sent.
+    pub requests: usize,
+    /// Requests that failed (transport, protocol, compile or internal).
+    pub errors: usize,
+    /// Responses with disposition `hit`.
+    pub memory_hits: usize,
+    /// Responses with disposition `disk-hit`.
+    pub disk_hits: usize,
+    /// Responses with disposition `miss` (a compilation ran).
+    pub misses: usize,
+    /// Responses with disposition `coalesced`.
+    pub coalesced: usize,
+    /// Phase wall time, microseconds.
+    pub elapsed_us: u64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl PhaseReport {
+    /// Hit fraction of all requests (memory + disk hits; coalesced
+    /// followers and misses are not hits). 0 for an empty phase.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        (self.memory_hits + self.disk_hits) as f64 / self.requests as f64
+    }
+
+    /// Requests served per second.
+    pub fn requests_per_s(&self) -> f64 {
+        per_second(self.requests, self.elapsed_us)
+    }
+
+    /// Compilations (misses) per second — the cold phase's headline.
+    pub fn compiles_per_s(&self) -> f64 {
+        per_second(self.misses, self.elapsed_us)
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("requests".to_string(), Json::Num(self.requests as f64)),
+            ("errors".to_string(), Json::Num(self.errors as f64)),
+            (
+                "memory_hits".to_string(),
+                Json::Num(self.memory_hits as f64),
+            ),
+            ("disk_hits".to_string(), Json::Num(self.disk_hits as f64)),
+            ("misses".to_string(), Json::Num(self.misses as f64)),
+            ("coalesced".to_string(), Json::Num(self.coalesced as f64)),
+            ("elapsed_us".to_string(), Json::Num(self.elapsed_us as f64)),
+            ("p50_us".to_string(), Json::Num(self.p50_us as f64)),
+            ("p99_us".to_string(), Json::Num(self.p99_us as f64)),
+            ("hit_rate".to_string(), Json::Num(self.hit_rate())),
+            (
+                "requests_per_s".to_string(),
+                Json::Num(self.requests_per_s()),
+            ),
+            (
+                "compiles_per_s".to_string(),
+                Json::Num(self.compiles_per_s()),
+            ),
+        ])
+    }
+}
+
+fn per_second(count: usize, elapsed_us: u64) -> f64 {
+    if elapsed_us == 0 {
+        return 0.0;
+    }
+    count as f64 / (elapsed_us as f64 / 1e6)
+}
+
+/// The full two-phase run: cold pass, warm pass, and the gate verdict.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// The configuration the run used.
+    pub config: LoadgenConfig,
+    /// First pass over the key set.
+    pub cold: PhaseReport,
+    /// Second pass over the same key set.
+    pub warm: PhaseReport,
+    /// Every violated invariant, human-readable. Empty means the gate
+    /// passed.
+    pub gate_failures: Vec<String>,
+}
+
+impl LoadgenReport {
+    /// Whether every gate held.
+    pub fn passed(&self) -> bool {
+        self.gate_failures.is_empty()
+    }
+
+    /// The report as a JSON document (schema-versioned; written by
+    /// `repro loadgen --out` and archived by CI).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Num(1.0)),
+            ("addr".to_string(), Json::Str(self.config.addr.clone())),
+            ("clients".to_string(), Json::Num(self.config.clients as f64)),
+            (
+                "requests".to_string(),
+                Json::Num(self.config.requests as f64),
+            ),
+            (
+                "unique_keys".to_string(),
+                Json::Num(self.config.unique_keys as f64),
+            ),
+            ("cold".to_string(), self.cold.to_json()),
+            ("warm".to_string(), self.warm.to_json()),
+            (
+                "gate_failures".to_string(),
+                Json::Arr(
+                    self.gate_failures
+                        .iter()
+                        .map(|f| Json::Str(f.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One request's outcome, as seen by a client thread.
+#[derive(Debug, Clone)]
+struct Outcome {
+    key: usize,
+    latency_us: u64,
+    /// `Ok(disposition, fingerprint)` or `Err(description)`.
+    result: Result<(String, String), String>,
+}
+
+/// Run the two-phase load test and evaluate every gate.
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let config = LoadgenConfig {
+        clients: config.clients.max(1),
+        unique_keys: config.unique_keys.max(1),
+        ..config.clone()
+    };
+    let (cold, cold_outcomes) = run_phase(&config)?;
+    let (warm, warm_outcomes) = run_phase(&config)?;
+
+    let mut gate_failures = Vec::new();
+    for (phase, report) in [("cold", &cold), ("warm", &warm)] {
+        if report.errors > 0 {
+            gate_failures.push(format!(
+                "{phase} phase: {} of {} requests failed",
+                report.errors, report.requests
+            ));
+        }
+    }
+
+    // Exactly-once: across BOTH phases each key may miss at most once —
+    // a warm-phase miss would mean the cache forgot a key it just
+    // compiled. (With eviction-sized key sets callers lower `requests`
+    // instead; the loadgen key set is sized to fit.)
+    let mut miss_counts = vec![0usize; config.unique_keys];
+    let mut fingerprints: Vec<Option<String>> = vec![None; config.unique_keys];
+    for outcome in cold_outcomes.iter().chain(&warm_outcomes) {
+        let Ok((disposition, fingerprint)) = &outcome.result else {
+            continue;
+        };
+        if disposition == "miss" {
+            miss_counts[outcome.key] += 1;
+        }
+        match &fingerprints[outcome.key] {
+            None => fingerprints[outcome.key] = Some(fingerprint.clone()),
+            Some(seen) if seen != fingerprint => gate_failures.push(format!(
+                "key {}: fingerprint changed across responses ({seen} vs {fingerprint})",
+                outcome.key
+            )),
+            Some(_) => {}
+        }
+    }
+    for (key, count) in miss_counts.iter().enumerate() {
+        if *count > 1 {
+            gate_failures.push(format!("key {key}: compiled {count} times (expected once)"));
+        }
+    }
+
+    if cold.hit_rate() < config.min_cold_hit_rate {
+        gate_failures.push(format!(
+            "cold hit rate {:.3} below required {:.3}",
+            cold.hit_rate(),
+            config.min_cold_hit_rate
+        ));
+    }
+    if warm.hit_rate() < config.min_warm_hit_rate {
+        gate_failures.push(format!(
+            "warm hit rate {:.3} below required {:.3}",
+            warm.hit_rate(),
+            config.min_warm_hit_rate
+        ));
+    }
+
+    Ok(LoadgenReport {
+        config,
+        cold,
+        warm,
+        gate_failures,
+    })
+}
+
+/// One pass over the key set: `clients` threads, each owning one
+/// connection, round-robin over the request indices.
+fn run_phase(config: &LoadgenConfig) -> io::Result<(PhaseReport, Vec<Outcome>)> {
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client in 0..config.clients {
+        let config = config.clone();
+        handles.push(thread::spawn(move || client_run(&config, client)));
+    }
+    let mut outcomes = Vec::new();
+    let mut connect_error: Option<io::Error> = None;
+    for handle in handles {
+        match handle.join().expect("client thread panicked") {
+            Ok(mut client_outcomes) => outcomes.append(&mut client_outcomes),
+            Err(e) => connect_error = Some(e),
+        }
+    }
+    if let Some(e) = connect_error {
+        // A client that could not even connect is a setup problem, not a
+        // measurement — surface it as an error rather than a gate entry.
+        return Err(e);
+    }
+    let elapsed_us = started.elapsed().as_micros() as u64;
+
+    let mut report = PhaseReport {
+        requests: outcomes.len(),
+        elapsed_us,
+        ..Default::default()
+    };
+    let mut latencies: Vec<u64> = Vec::with_capacity(outcomes.len());
+    for outcome in &outcomes {
+        latencies.push(outcome.latency_us);
+        match &outcome.result {
+            Ok((disposition, _)) => match disposition.as_str() {
+                "hit" => report.memory_hits += 1,
+                "disk-hit" => report.disk_hits += 1,
+                "miss" => report.misses += 1,
+                "coalesced" => report.coalesced += 1,
+                _ => report.errors += 1,
+            },
+            Err(_) => report.errors += 1,
+        }
+    }
+    latencies.sort_unstable();
+    report.p50_us = percentile(&latencies, 50);
+    report.p99_us = percentile(&latencies, 99);
+    Ok((report, outcomes))
+}
+
+/// The requests client `c` owns: indices `c, c+clients, c+2·clients, …`
+/// mapped onto keys by `index % unique_keys`.
+fn client_run(config: &LoadgenConfig, client: usize) -> io::Result<Vec<Outcome>> {
+    let stream = TcpStream::connect(&config.addr)?;
+    // Request/response over small frames: disable Nagle or every
+    // request pays a delayed-ACK round trip.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut outcomes = Vec::new();
+    let mut line = String::new();
+    for index in (client..config.requests).step_by(config.clients) {
+        let key = index % config.unique_keys;
+        let request = Request {
+            id: Some(index as u64),
+            source: kernel_source(key),
+            options: RequestOptions {
+                paths: Some("hls".to_string()),
+                ..Default::default()
+            },
+        };
+        let sent = Instant::now();
+        let result = exchange(&mut writer, &mut reader, &mut line, &request);
+        outcomes.push(Outcome {
+            key,
+            latency_us: sent.elapsed().as_micros() as u64,
+            result,
+        });
+    }
+    Ok(outcomes)
+}
+
+/// Send one request and read its response; classify the outcome.
+fn exchange(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    request: &Request,
+) -> Result<(String, String), String> {
+    writer
+        .write_all(request.encode().as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("send failed: {e}"))?;
+    line.clear();
+    match reader.read_line(line) {
+        Ok(0) => return Err("server closed the connection".to_string()),
+        Ok(_) => {}
+        Err(e) => return Err(format!("receive failed: {e}")),
+    }
+    let response =
+        Response::parse(line.trim_end()).map_err(|e| format!("unparseable response: {e}"))?;
+    if response.id != request.id {
+        return Err(format!(
+            "response id {:?} does not match request id {:?}",
+            response.id, request.id
+        ));
+    }
+    if !response.ok {
+        let (kind, message) = response
+            .error
+            .as_ref()
+            .expect("parser enforces error on failures");
+        return Err(format!("{} error: {message}", kind.as_str()));
+    }
+    match (response.disposition, response.fingerprint) {
+        (Some(d), Some(f)) => Ok((d, f)),
+        _ => Err("success response missing disposition or fingerprint".to_string()),
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+fn percentile(sorted_us: &[u64], pct: u32) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (pct as usize * sorted_us.len()).div_ceil(100);
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let us: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&us, 50), 50);
+        assert_eq!(percentile(&us, 99), 99);
+        assert_eq!(percentile(&us, 100), 100);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn kernel_sources_are_distinct_and_parse() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..16 {
+            let src = kernel_source(k);
+            assert!(seen.insert(src.clone()));
+            shmls_frontend::parse_kernel(&src).unwrap();
+        }
+    }
+
+    #[test]
+    fn phase_report_rates_are_finite_on_empty_phases() {
+        let empty = PhaseReport::default();
+        assert_eq!(empty.hit_rate(), 0.0);
+        assert_eq!(empty.requests_per_s(), 0.0);
+        assert_eq!(empty.compiles_per_s(), 0.0);
+    }
+
+    #[test]
+    fn report_json_carries_the_gate_verdict() {
+        let report = LoadgenReport {
+            config: LoadgenConfig::default(),
+            cold: PhaseReport {
+                requests: 4,
+                misses: 2,
+                memory_hits: 2,
+                elapsed_us: 1000,
+                ..Default::default()
+            },
+            warm: PhaseReport::default(),
+            gate_failures: vec!["warm hit rate 0.000 below required 0.900".to_string()],
+        };
+        let doc = report.to_json();
+        assert_eq!(doc.get("schema").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            doc.get("cold").unwrap().get("misses").unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(doc.get("gate_failures").unwrap().as_arr().unwrap().len(), 1);
+        // Round-trips through the writer.
+        let text = doc.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+}

@@ -1,0 +1,367 @@
+//! The TCP compile service.
+//!
+//! Deliberately built on `std` alone: a blocking `TcpListener`, one
+//! accept thread, and a bounded pool of worker threads fed over an
+//! `mpsc` channel. Each worker owns one connection at a time and runs
+//! its newline-delimited request/response loop to completion. The
+//! compile cache ([`PersistentCache`]) is shared across workers, so
+//! concurrent requests for the same key compile exactly once and — when
+//! a cache directory is configured — survive server restarts.
+//!
+//! Failure containment, layer by layer:
+//!
+//! - A malformed frame gets a `protocol` error response; the connection
+//!   stays up.
+//! - A kernel that fails to parse or compile gets a `compile` error
+//!   response.
+//! - A panic inside the compiler is caught per request
+//!   ([`std::panic::catch_unwind`]) and answered as an `internal`
+//!   error; the worker, the connection and the server all survive.
+//!
+//! Shutdown is cooperative: workers poll a shared flag between read
+//! timeouts, and [`ServerHandle::shutdown`] unblocks the accept loop
+//! with a throwaway connection to itself.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use shmls_frontend::parse_kernel;
+use shmls_ir::json::Json;
+use stencil_hmls::persist::PersistentCache;
+
+use crate::protocol::{ErrorKind, Request, Response};
+
+/// How long a worker blocks in a read before re-checking the shutdown
+/// flag. Bounds shutdown latency; invisible to clients.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind. Port 0 picks a free port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads — the maximum number of concurrently served
+    /// connections. Clamped to at least 1.
+    pub workers: usize,
+    /// Cache directory for the disk-persistent tier; `None` serves from
+    /// memory only and starts cold on every launch.
+    pub cache_dir: Option<PathBuf>,
+    /// Capacity of the compiled-kernel cache tier (the record tier
+    /// keeps 8× as many entries).
+    pub capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            cache_dir: None,
+            capacity: 64,
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down; call
+/// [`ServerHandle::shutdown`] to do so explicitly.
+#[derive(Debug)]
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    cache: Arc<PersistentCache>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared compile cache, for in-process stats reads.
+    pub fn cache(&self) -> &Arc<PersistentCache> {
+        &self.cache
+    }
+
+    /// Stop accepting, drain workers, and join every thread. Open
+    /// connections are closed after at most one read-poll interval
+    /// (100 ms).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop sits in a blocking `accept`; a throwaway
+        // connection to ourselves wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Bind, spawn the worker pool, and start serving. Returns as soon as
+/// the listener is live — the handle's address is immediately
+/// connectable.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let cache = match &config.cache_dir {
+        Some(dir) => PersistentCache::with_dir(dir, config.capacity)?,
+        None => PersistentCache::in_memory(config.capacity),
+    };
+    let cache = Arc::new(cache);
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || loop {
+                // Holding the lock only for the recv keeps the other
+                // workers free to pick up queued connections.
+                let conn = rx.lock().expect("worker queue poisoned").recv();
+                match conn {
+                    Ok(stream) => serve_connection(stream, &cache, &stop),
+                    // Sender dropped: the accept loop has exited.
+                    Err(_) => return,
+                }
+            })
+        })
+        .collect();
+
+    let accept = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    return; // drops `tx`, draining the workers
+                }
+                if let Ok(stream) = stream {
+                    if tx.send(stream).is_err() {
+                        return;
+                    }
+                }
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        stop,
+        accept: Some(accept),
+        workers,
+        cache,
+    })
+}
+
+/// Run one connection's request/response loop until EOF, a transport
+/// error, or server shutdown.
+fn serve_connection(stream: TcpStream, cache: &PersistentCache, stop: &AtomicBool) {
+    // One small write per response on a request/response protocol:
+    // without TCP_NODELAY, Nagle + delayed ACK turns every cache hit
+    // into a ~40–200 ms round trip.
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                let response = respond(cache, line.trim_end_matches(['\r', '\n']));
+                line.clear();
+                let frame = response.encode();
+                if writer.write_all(frame.as_bytes()).is_err()
+                    || writer.write_all(b"\n").is_err()
+                    || writer.flush().is_err()
+                {
+                    return;
+                }
+            }
+            // A poll timeout mid-wait (or even mid-line: `read_line`
+            // keeps partial bytes in `line`, so resuming is lossless).
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answer one request line. Never panics out: compiler panics become
+/// `internal` error responses.
+fn respond(cache: &PersistentCache, line: &str) -> Response {
+    let start = Instant::now();
+    match catch_unwind(AssertUnwindSafe(|| handle(cache, line, &start))) {
+        Ok(response) => response,
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic of unknown type".to_string());
+            Response::failure(
+                best_effort_id(line),
+                ErrorKind::Internal,
+                format!("panic while serving request: {message}"),
+                wall_us(&start),
+            )
+        }
+    }
+}
+
+fn handle(cache: &PersistentCache, line: &str, start: &Instant) -> Response {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::failure(best_effort_id(line), ErrorKind::Protocol, e, wall_us(start))
+        }
+    };
+    let opts = match request.compile_options() {
+        Ok(o) => o,
+        Err(e) => return Response::failure(request.id, ErrorKind::Protocol, e, wall_us(start)),
+    };
+    #[cfg(test)]
+    {
+        if request.source == "__serve_test_panic__" {
+            panic!("injected test panic");
+        }
+    }
+    let kernel = match parse_kernel(&request.source) {
+        Ok(k) => k,
+        Err(e) => {
+            return Response::failure(
+                request.id,
+                ErrorKind::Compile,
+                e.to_string(),
+                wall_us(start),
+            )
+        }
+    };
+    match cache.get_or_compile_record(&kernel, &opts) {
+        Ok((record, disposition)) => {
+            Response::success(request.id, &record, disposition, wall_us(start))
+        }
+        Err(e) => Response::failure(
+            request.id,
+            ErrorKind::Compile,
+            e.to_string(),
+            wall_us(start),
+        ),
+    }
+}
+
+/// Echo the client's id even on frames that fail full request parsing,
+/// so a pipelined client can still correlate the error.
+fn best_effort_id(line: &str) -> Option<u64> {
+    Json::parse(line)
+        .ok()
+        .and_then(|doc| doc.get("id").and_then(Json::as_u64))
+}
+
+fn wall_us(start: &Instant) -> u64 {
+    start.elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_and_shuts_down_without_traffic() {
+        let handle = serve(ServerConfig::default()).unwrap();
+        assert_ne!(handle.local_addr().port(), 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_down() {
+        let handle = serve(ServerConfig::default()).unwrap();
+        let addr = handle.local_addr();
+        drop(handle);
+        // The port is released: a fresh bind to it succeeds.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    #[test]
+    fn respond_layers_errors_by_kind() {
+        let cache = PersistentCache::in_memory(4);
+        // Malformed frame → protocol error, id still echoed.
+        let r = respond(&cache, r#"{"id": 3, "options": 7}"#);
+        assert!(!r.ok);
+        assert_eq!(r.id, Some(3));
+        assert_eq!(r.error.as_ref().unwrap().0, ErrorKind::Protocol);
+        // Well-formed frame, bad kernel → compile error.
+        let r = respond(&cache, r#"{"id": 4, "source": "kernel broken {"}"#);
+        assert!(!r.ok);
+        assert_eq!(r.error.as_ref().unwrap().0, ErrorKind::Compile);
+    }
+
+    #[test]
+    fn respond_isolates_panics_as_internal_errors() {
+        let cache = PersistentCache::in_memory(4);
+        let r = respond(&cache, r#"{"id": 5, "source": "__serve_test_panic__"}"#);
+        assert!(!r.ok);
+        assert_eq!(r.id, Some(5));
+        let (kind, message) = r.error.as_ref().unwrap();
+        assert_eq!(*kind, ErrorKind::Internal);
+        assert!(message.contains("injected test panic"), "{message}");
+        // The cache (and thus the server) is still usable afterwards.
+        let request = Request {
+            id: Some(6),
+            source: "kernel k { grid(6, 6) halo 1 field a : input field b : output \
+                     compute b { b = a[-1,0] + a[1,0] } }"
+                .to_string(),
+            options: crate::protocol::RequestOptions {
+                paths: Some("hls".to_string()),
+                ..Default::default()
+            },
+        };
+        let r = respond(&cache, &request.encode());
+        assert!(r.ok, "{:?}", r.error);
+        assert_eq!(r.disposition.as_deref(), Some("miss"));
+    }
+
+    #[test]
+    fn best_effort_id_survives_partial_frames() {
+        assert_eq!(best_effort_id(r#"{"id": 9}"#), Some(9));
+        assert_eq!(best_effort_id("not json"), None);
+        assert_eq!(best_effort_id(r#"{"id": "x"}"#), None);
+    }
+}
